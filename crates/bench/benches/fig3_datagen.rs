@@ -1,0 +1,92 @@
+//! FIG3 — the data generation process (Figure 3).
+//!
+//! Exercises the per-type generation paths (text via LDA and Markov,
+//! table via fitted models, graph via RMAT and BA, stream via Poisson and
+//! MMPP) across a volume sweep, printing items/sec per generator — the
+//! *volume* and *velocity* columns of the process — and benching each
+//! path.
+
+use bdb_datagen::corpus::{karate_club_graph, raw_retail_table, RAW_TEXT_CORPUS};
+use bdb_datagen::graph::{fit_rmat, BaGenerator, RmatGenerator};
+use bdb_datagen::stream::{MmppArrivals, PoissonArrivals};
+use bdb_datagen::table::TableGenerator;
+use bdb_datagen::text::lda::{LdaConfig, LdaModel};
+use bdb_datagen::text::markov::MarkovTextGenerator;
+use bdb_datagen::volume::VolumeSpec;
+use bdb_datagen::DataGenerator;
+use bdb_exec::reporter::{fmt_num, TableReporter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn generators() -> Vec<Box<dyn DataGenerator>> {
+    let lda = LdaModel::train(
+        &RAW_TEXT_CORPUS,
+        LdaConfig { iterations: 60, ..Default::default() },
+        7,
+    )
+    .expect("trains");
+    vec![
+        Box::new(lda),
+        Box::new(MarkovTextGenerator::train(&RAW_TEXT_CORPUS).expect("trains")),
+        Box::new(TableGenerator::fit("retail", &raw_retail_table()).expect("fits")),
+        Box::new(fit_rmat(&karate_club_graph(), 7).expect("fits")),
+        Box::new(BaGenerator::new(4).expect("valid")),
+        Box::new(RmatGenerator::standard(8.0)),
+        Box::new(PoissonArrivals::new(10_000.0, 64).expect("valid")),
+        Box::new(MmppArrivals::new(2_000.0, 20_000.0, 200.0, 64).expect("valid")),
+    ]
+}
+
+fn report() {
+    bdb_bench::banner(
+        "FIG3",
+        "data generation process: per-type generators, volume sweep 10^3..10^5",
+    );
+    let mut table = TableReporter::new(
+        "Generation rate (items/sec) by volume",
+        &["generator", "kind", "1k", "10k", "100k", "scaling"],
+    );
+    for gen in generators() {
+        let mut rates = Vec::new();
+        for items in [1_000u64, 10_000, 100_000] {
+            let t0 = Instant::now();
+            let d = gen.generate(3, &VolumeSpec::Items(items)).expect("generates");
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            // Graphs interpret Items as vertices but count edges as items.
+            rates.push(d.item_count() as f64 / secs);
+        }
+        // Linear scaling: the rate stays within an order of magnitude.
+        let scaling = if rates[2] > rates[0] / 8.0 { "~linear" } else { "sub-linear" };
+        table.add_row(&[
+            gen.name().to_string(),
+            gen.kind().to_string(),
+            fmt_num(rates[0]),
+            fmt_num(rates[1]),
+            fmt_num(rates[2]),
+            scaling.to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!("Shape: every generator family sustains its rate as volume grows\n(scalable volume, Figure 3 step 3).");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let mut group = c.benchmark_group("fig3_generators");
+    for (i, gen) in generators().into_iter().enumerate() {
+        // Index prefix keeps ids unique (two RMAT variants share a name).
+        let name = format!("{i}_{}", gen.name().replace('/', "_"));
+        group.bench_with_input(BenchmarkId::new(name, 10_000u64), &gen, |b, gen| {
+            b.iter(|| black_box(gen.generate(3, &VolumeSpec::Items(10_000)).expect("generates")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bdb_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

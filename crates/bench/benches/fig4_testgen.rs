@@ -1,0 +1,85 @@
+//! FIG4 — the test generation process (Figure 4).
+//!
+//! Walks the five test-generation steps for every repository domain,
+//! prints the prescription inventory (operations, pattern class, target
+//! bindings), and benches prescription generation + serialisation and the
+//! binding of an abstract test to both engines.
+
+use bdb_exec::reporter::TableReporter;
+use bdb_testgen::bind::{MapReduceBinding, PatternExecutor, SqlBinding};
+use bdb_testgen::pattern::WorkloadPattern;
+use bdb_testgen::repository::builtin_prescriptions;
+use bdb_testgen::{Prescription, PrescriptionRepository, SystemKind, TestGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn pattern_class(p: &Prescription) -> &'static str {
+    match &p.pattern {
+        WorkloadPattern::Single { .. } => "single-operation",
+        WorkloadPattern::Multi { .. } => "multi-operation",
+        WorkloadPattern::Iterative { .. } => "iterative-operation",
+    }
+}
+
+fn report() {
+    bdb_bench::banner("FIG4", "test generation: repository inventory and prescribed tests");
+    let mut table = TableReporter::new(
+        "Prescription repository (Section 5.2)",
+        &["prescription", "pattern", "operations", "data sets", "json bytes"],
+    );
+    for p in builtin_prescriptions() {
+        let ops: Vec<&str> = p.pattern.operations().iter().map(|o| o.name()).collect();
+        let json = p.to_json().expect("serialises");
+        // Round-trip check: the prescription is a portable artifact.
+        let back = Prescription::from_json(&json).expect("parses");
+        assert_eq!(p, back);
+        table.add_row(&[
+            p.name.clone(),
+            pattern_class(&p).to_string(),
+            ops.join("+"),
+            p.data.len().to_string(),
+            json.len().to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!("Shape: all three pattern classes are represented and every\nprescription round-trips through JSON (reusable repository).");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    c.bench_function("fig4_prescribe_and_serialize", |b| {
+        let repo = PrescriptionRepository::with_builtins();
+        b.iter(|| {
+            let p = repo.get("relational/select-aggregate").expect("exists").clone();
+            let test = TestGenerator::materialize(p, SystemKind::Sql, 7).expect("materialises");
+            black_box(test.prescription.to_json().expect("serialises"))
+        });
+    });
+
+    // Binding an abstract test to both engines (step 5 at execution time).
+    let repo = PrescriptionRepository::with_builtins();
+    let p = repo.get("relational/select-aggregate").expect("exists").clone();
+    let raw = bdb_datagen::corpus::raw_retail_table();
+    let gen = bdb_datagen::table::TableGenerator::fit("orders", &raw).expect("fits");
+    let mut datasets = std::collections::BTreeMap::new();
+    datasets.insert("orders".to_string(), gen.generate_shard(1, 0, 2_000));
+    c.bench_function("fig4_bind_sql", |b| {
+        b.iter(|| black_box(SqlBinding.execute(&p.pattern, &datasets).expect("binds")));
+    });
+    c.bench_function("fig4_bind_mapreduce", |b| {
+        b.iter(|| {
+            black_box(
+                MapReduceBinding::default()
+                    .execute(&p.pattern, &datasets)
+                    .expect("binds"),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bdb_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

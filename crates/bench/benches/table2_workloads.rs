@@ -1,0 +1,44 @@
+//! TAB2 — Table 2: comparison of benchmarking techniques.
+//!
+//! Regenerates the paper's Table 2 by running every suite's workload set
+//! and tabulating the measured workload categories, then benches a
+//! representative workload from each category.
+
+use bdb_suites::table2::render_table2;
+use bdb_suites::{all_suites, BenchmarkSuite};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn report() {
+    bdb_bench::banner("TAB2", "measured workload comparison of all surveyed suites");
+    let suites = all_suites();
+    let (all_results, text) = render_table2(&suites, 400, 0xBD).expect("harness runs");
+    println!("{text}");
+    let total: usize = all_results.iter().map(Vec::len).sum();
+    println!("{total} workloads executed across {} suites.", suites.len());
+    println!("Shape: YCSB/LinkBench are online-services only; HiBench mixes\noffline + real-time; only BigDataBench (and this framework) cover all\nthree categories — the paper's hybrid-coverage claim.");
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    // One representative workload per Table 2 category.
+    c.bench_function("table2_online_ycsb", |b| {
+        let suite = bdb_suites::catalog::Ycsb;
+        b.iter(|| black_box(suite.run_workloads(300, 1).expect("runs")));
+    });
+    c.bench_function("table2_offline_hibench", |b| {
+        let suite = bdb_suites::catalog::HiBench;
+        b.iter(|| black_box(suite.run_workloads(300, 1).expect("runs")));
+    });
+    c.bench_function("table2_realtime_pavlo", |b| {
+        let suite = bdb_suites::catalog::PavloBenchmark;
+        b.iter(|| black_box(suite.run_workloads(300, 1).expect("runs")));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = bdb_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

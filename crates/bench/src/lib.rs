@@ -1,0 +1,25 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every bench regenerates one paper artifact (a table or figure; see the
+//! experiment index in DESIGN.md): it prints the paper-style rows once and
+//! then lets Criterion measure the hot kernels.
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// A Criterion instance tuned for this suite: short measurement windows —
+//  the experiment *shapes* matter, not ±1% timing precision.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300))
+        .configure_from_args()
+}
+
+/// Print a banner naming the paper artifact a bench regenerates.
+pub fn banner(id: &str, what: &str) {
+    println!("\n================================================================");
+    println!("{id}: {what}");
+    println!("================================================================");
+}

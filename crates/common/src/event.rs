@@ -1,0 +1,34 @@
+//! The timestamped event record shared by the stream generator and the
+//! streaming engine — the container for the fourth data source of the
+//! paper's *variety* axis (table, text, graph, **stream**).
+
+/// One timestamped stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Event time in milliseconds since stream start.
+    pub ts_ms: u64,
+    /// Partitioning / grouping key.
+    pub key: u64,
+    /// Payload measure.
+    pub value: f64,
+}
+
+impl Event {
+    /// Construct an event.
+    pub fn new(ts_ms: u64, key: u64, value: f64) -> Self {
+        Self { ts_ms, key, value }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_sets_fields() {
+        let e = Event::new(5, 7, 1.5);
+        assert_eq!(e.ts_ms, 5);
+        assert_eq!(e.key, 7);
+        assert_eq!(e.value, 1.5);
+    }
+}

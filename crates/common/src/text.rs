@@ -1,0 +1,209 @@
+//! Text containers: tokenisation, vocabularies, and documents.
+//!
+//! The text path of Figure 3 learns a word dictionary from a real corpus,
+//! fits a topic model, and generates synthetic documents. [`Vocabulary`]
+//! is the shared dictionary (word ⇄ id); [`Document`] is a bag/sequence of
+//! word ids, which is what both the LDA trainer and the WordCount-style
+//! workloads consume.
+
+use std::collections::HashMap;
+
+/// Lower-cases and splits text into alphanumeric word tokens.
+///
+/// Deliberately simple — the benchmark's veracity comparisons only need the
+/// raw and synthetic corpora to flow through the *same* tokenizer.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_lowercase())
+        .collect()
+}
+
+/// A bidirectional word ⇄ id dictionary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a vocabulary from a corpus, keeping every distinct token.
+    pub fn from_corpus<'a>(texts: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut v = Self::new();
+        for t in texts {
+            for w in tokenize(t) {
+                v.intern(&w);
+            }
+        }
+        v
+    }
+
+    /// Intern a word, returning its id (existing or new).
+    pub fn intern(&mut self, word: &str) -> u32 {
+        if let Some(&id) = self.ids.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32;
+        self.words.push(word.to_string());
+        self.ids.insert(word.to_string(), id);
+        id
+    }
+
+    /// The id of a word, if present.
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.ids.get(word).copied()
+    }
+
+    /// The word for an id, if in range.
+    pub fn word(&self, id: u32) -> Option<&str> {
+        self.words.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no words have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// A document as a sequence of word ids over a shared [`Vocabulary`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    /// Word ids in order of appearance.
+    pub words: Vec<u32>,
+}
+
+impl Document {
+    /// Tokenise `text`, interning new words into `vocab`.
+    pub fn from_text(text: &str, vocab: &mut Vocabulary) -> Self {
+        let words = tokenize(text).iter().map(|w| vocab.intern(w)).collect();
+        Self { words }
+    }
+
+    /// Document length in tokens.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True for a zero-token document.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word frequency counts over a vocabulary of size `vocab_size`.
+    pub fn term_counts(&self, vocab_size: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; vocab_size];
+        for &w in &self.words {
+            if (w as usize) < vocab_size {
+                counts[w as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Render back to text via the vocabulary (unknown ids are skipped).
+    pub fn to_text(&self, vocab: &Vocabulary) -> String {
+        let mut out = String::with_capacity(self.words.len() * 6);
+        for (i, &w) in self.words.iter().enumerate() {
+            if let Some(word) = vocab.word(w) {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(word);
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate word frequencies across a corpus of documents.
+pub fn corpus_word_frequencies(docs: &[Document], vocab_size: usize) -> Vec<f64> {
+    let mut counts = vec![0u64; vocab_size];
+    let mut total = 0u64;
+    for d in docs {
+        for &w in &d.words {
+            if (w as usize) < vocab_size {
+                counts[w as usize] += 1;
+                total += 1;
+            }
+        }
+    }
+    if total == 0 {
+        return vec![0.0; vocab_size];
+    }
+    counts.into_iter().map(|c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Hello, World! 42-times"),
+            vec!["hello", "world", "42", "times"]
+        );
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn vocabulary_interning_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("data");
+        let b = v.intern("data");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.word(a), Some("data"));
+        assert_eq!(v.id("data"), Some(a));
+        assert_eq!(v.id("missing"), None);
+        assert_eq!(v.word(99), None);
+    }
+
+    #[test]
+    fn vocabulary_from_corpus() {
+        let v = Vocabulary::from_corpus(["big data", "data systems"]);
+        assert_eq!(v.len(), 3);
+        assert!(v.id("big").is_some());
+        assert!(v.id("systems").is_some());
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let mut v = Vocabulary::new();
+        let d = Document::from_text("big data big", &mut v);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.to_text(&v), "big data big");
+        let counts = d.term_counts(v.len());
+        assert_eq!(counts[v.id("big").unwrap() as usize], 2);
+        assert_eq!(counts[v.id("data").unwrap() as usize], 1);
+    }
+
+    #[test]
+    fn corpus_frequencies_normalise() {
+        let mut v = Vocabulary::new();
+        let docs = vec![
+            Document::from_text("a a b", &mut v),
+            Document::from_text("b c", &mut v),
+        ];
+        let freq = corpus_word_frequencies(&docs, v.len());
+        let total: f64 = freq.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((freq[v.id("a").unwrap() as usize] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_frequencies_empty_corpus() {
+        let freq = corpus_word_frequencies(&[], 3);
+        assert_eq!(freq, vec![0.0, 0.0, 0.0]);
+    }
+}

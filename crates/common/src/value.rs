@@ -1,0 +1,406 @@
+//! Dynamic values and schemas for structured (table) data.
+//!
+//! The paper's *variety* axis requires the framework to handle structured
+//! data alongside text, graph and stream data. [`Value`] is the dynamic cell
+//! type shared by the table generator, the relational engine and the format
+//! conversion tools; [`Schema`] describes a table's columns.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// Milliseconds since an arbitrary epoch; the stream generators use it
+    /// for event time.
+    Timestamp,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+    /// Milliseconds since an arbitrary epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's runtime type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view: ints, floats and timestamps as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// String view (only for `Text`).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the *volume*
+    /// accounting of the data generators.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Float(_) | Value::Timestamp(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Text(s) => s.len(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_values(other) == Some(Ordering::Equal)
+    }
+}
+
+impl Value {
+    /// Total ordering across comparable values; `None` when the variants are
+    /// incomparable (e.g. Text vs Int). NULL compares equal to NULL and less
+    /// than everything else, matching the sort semantics of the SQL engine.
+    pub fn cmp_values(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Some(Ordering::Equal),
+            (Null, _) => Some(Ordering::Less),
+            (_, Null) => Some(Ordering::Greater),
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b).or(Some(Ordering::Equal)),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type, nullable: false }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type, nullable: true }
+    }
+}
+
+/// An ordered list of fields describing a table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name.
+    pub fn new(fields: Vec<Field>) -> Self {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate column name {}", f.name);
+            }
+        }
+        Self { fields }
+    }
+
+    /// The fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for a zero-column schema.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field named `name`.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Check a row of values against this schema (arity, types, nullability).
+    pub fn validate_row(&self, row: &[Value]) -> crate::Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(crate::BdbError::TypeMismatch {
+                expected: format!("{} columns", self.fields.len()),
+                found: format!("{} columns", row.len()),
+            });
+        }
+        for (v, f) in row.iter().zip(&self.fields) {
+            match v.data_type() {
+                None if f.nullable => {}
+                None => {
+                    return Err(crate::BdbError::TypeMismatch {
+                        expected: f.data_type.to_string(),
+                        found: format!("NULL in non-nullable column {}", f.name),
+                    })
+                }
+                Some(t) if t == f.data_type => {}
+                Some(t) => {
+                    return Err(crate::BdbError::TypeMismatch {
+                        expected: format!("{} for column {}", f.data_type, f.name),
+                        found: t.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A new schema with only the named columns, in the given order.
+    pub fn project(&self, names: &[&str]) -> crate::Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let f = self
+                .field(n)
+                .ok_or_else(|| crate::BdbError::NotFound(format!("column {n}")))?;
+            fields.push(f.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Text),
+            Field::nullable("score", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn value_type_introspection() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Text("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn value_ordering_null_first() {
+        assert_eq!(
+            Value::Null.cmp_values(&Value::Int(0)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int(0).cmp_values(&Value::Null),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Null.cmp_values(&Value::Null), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn value_cross_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).cmp_values(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+    }
+
+    #[test]
+    fn incomparable_values() {
+        assert_eq!(Value::Int(1).cmp_values(&Value::Text("1".into())), None);
+    }
+
+    #[test]
+    fn byte_size_accounting() {
+        assert_eq!(Value::Int(1).byte_size(), 8);
+        assert_eq!(Value::Text("abcd".into()).byte_size(), 4);
+        assert_eq!(Value::Null.byte_size(), 1);
+    }
+
+    #[test]
+    fn schema_lookup_and_projection() {
+        let s = schema();
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        let p = s.project(&["score", "id"]).unwrap();
+        assert_eq!(p.fields()[0].name, "score");
+        assert_eq!(p.fields()[1].name, "id");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn validate_row_accepts_valid() {
+        let s = schema();
+        let row = vec![Value::Int(1), Value::from("a"), Value::Null];
+        assert!(s.validate_row(&row).is_ok());
+    }
+
+    #[test]
+    fn validate_row_rejects_null_in_non_nullable() {
+        let s = schema();
+        let row = vec![Value::Null, Value::from("a"), Value::Null];
+        assert!(s.validate_row(&row).is_err());
+    }
+
+    #[test]
+    fn validate_row_rejects_wrong_arity_and_type() {
+        let s = schema();
+        assert!(s.validate_row(&[Value::Int(1)]).is_err());
+        let row = vec![Value::from("oops"), Value::from("a"), Value::Null];
+        assert!(s.validate_row(&row).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn schema_rejects_duplicate_names() {
+        let _ = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("x", DataType::Text),
+        ]);
+    }
+
+    #[test]
+    fn display_round_trip_like() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Timestamp(5).to_string(), "@5");
+        assert_eq!(DataType::Timestamp.to_string(), "TIMESTAMP");
+    }
+}

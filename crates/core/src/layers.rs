@@ -1,0 +1,147 @@
+//! The three-layer architecture of Figure 2.
+//!
+//! "The *User Interface Layer* provides interfaces to assist system owners
+//! to specify their benchmarking requirements … The *Function Layer* has
+//! three components: data generators, test generators and metrics … The
+//! *Execution Layer* offers several functions to support the execution of
+//! benchmark tests over different software stacks."
+
+use crate::registry::GeneratorRegistry;
+use bdb_exec::config::SystemConfig;
+use bdb_metrics::{CostModel, PowerModel};
+use bdb_testgen::{PrescriptionRepository, SystemKind};
+
+/// User Interface Layer: what a system owner specifies — "the selected
+/// data, workloads, metrics and the preferred data volume and velocity".
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Run name (for reports).
+    pub name: String,
+    /// Which prescription from the repository to run.
+    pub prescription: String,
+    /// Target system for the prescribed test.
+    pub system: SystemKind,
+    /// Data volume: overrides the prescription's item counts when set.
+    pub scale: Option<u64>,
+    /// Target data generation rate (items/sec), if velocity-controlled.
+    pub target_rate: Option<f64>,
+    /// Parallel generator workers for the data generation step.
+    pub generator_workers: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl BenchmarkSpec {
+    /// A spec with defaults (micro/wordcount on the native system).
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            prescription: "micro/wordcount".to_string(),
+            system: SystemKind::Native,
+            scale: None,
+            target_rate: None,
+            generator_workers: 1,
+            seed: 0xBDBE,
+        }
+    }
+
+    /// Choose the prescription by repository name.
+    pub fn with_prescription(mut self, name: &str) -> Self {
+        self.prescription = name.to_string();
+        self
+    }
+
+    /// Target a specific system.
+    pub fn with_system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Override the data volume (items).
+    pub fn with_scale(mut self, items: u64) -> Self {
+        self.scale = Some(items);
+        self
+    }
+
+    /// Request a data generation rate.
+    pub fn with_target_rate(mut self, items_per_sec: f64) -> Self {
+        self.target_rate = Some(items_per_sec);
+        self
+    }
+
+    /// Deploy N parallel data generators.
+    pub fn with_generator_workers(mut self, workers: usize) -> Self {
+        self.generator_workers = workers.max(1);
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Alias making the Figure 2 naming explicit.
+pub type UserInterfaceLayer = BenchmarkSpec;
+
+/// Function Layer: data generators + test generator + metrics models.
+#[derive(Debug)]
+pub struct FunctionLayer {
+    /// The data generators component.
+    pub generators: GeneratorRegistry,
+    /// The test generator component (prescription repository + binding).
+    pub repository: PrescriptionRepository,
+    /// Metrics: the energy model.
+    pub power_model: PowerModel,
+    /// Metrics: the cost model.
+    pub cost_model: CostModel,
+}
+
+impl Default for FunctionLayer {
+    fn default() -> Self {
+        Self {
+            generators: GeneratorRegistry::with_builtins(),
+            repository: PrescriptionRepository::with_builtins(),
+            power_model: PowerModel::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// Execution Layer: system configuration (format conversion and analysis
+/// live in `bdb-exec` and are re-exported through the pipeline's report).
+#[derive(Debug, Default)]
+pub struct ExecutionLayer {
+    /// Engine configuration for the run.
+    pub system_config: SystemConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chains() {
+        let s = BenchmarkSpec::new("x")
+            .with_prescription("micro/sort")
+            .with_system(SystemKind::MapReduce)
+            .with_scale(1000)
+            .with_target_rate(5000.0)
+            .with_generator_workers(4)
+            .with_seed(7);
+        assert_eq!(s.prescription, "micro/sort");
+        assert_eq!(s.system, SystemKind::MapReduce);
+        assert_eq!(s.scale, Some(1000));
+        assert_eq!(s.target_rate, Some(5000.0));
+        assert_eq!(s.generator_workers, 4);
+        assert_eq!(s.seed, 7);
+    }
+
+    #[test]
+    fn function_layer_defaults_are_loaded() {
+        let f = FunctionLayer::default();
+        assert!(f.repository.get("micro/wordcount").is_ok());
+        assert!(f.generators.ids().contains(&"text/lda"));
+    }
+}

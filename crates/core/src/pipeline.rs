@@ -1,0 +1,529 @@
+//! The five-step benchmarking process of Figure 1.
+//!
+//! Planning → Data generation → Test generation → Execution → Analysis &
+//! Evaluation. [`Benchmark::run`] walks all five steps for a
+//! [`BenchmarkSpec`], timing each, and produces a [`BenchmarkRun`] whose
+//! analysis text is rendered by the Execution Layer's reporter.
+
+use crate::layers::{BenchmarkSpec, ExecutionLayer, FunctionLayer};
+use bdb_common::{BdbError, Result};
+use bdb_datagen::velocity::VelocityController;
+use bdb_datagen::volume::VolumeSpec;
+use bdb_datagen::Dataset;
+use bdb_exec::reporter::{fmt_num, TableReporter};
+use bdb_mapreduce::JobConfig;
+use bdb_testgen::bind::{MapReduceBinding, PatternExecutor, SqlBinding};
+use bdb_testgen::ops::{AggSpec, Operation};
+use bdb_testgen::pattern::WorkloadPattern;
+use bdb_testgen::{Prescription, SystemKind, TestGenerator};
+use bdb_workloads::{micro, oltp, search, social, WorkloadCategory, WorkloadResult};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// One of the five Figure 1 steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Determine object, domain and metrics.
+    Planning,
+    /// Generate the input data sets.
+    DataGeneration,
+    /// Generate the prescribed test.
+    TestGeneration,
+    /// Run the test on the target system.
+    Execution,
+    /// Analyse and report.
+    Analysis,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Phase::Planning => "planning",
+            Phase::DataGeneration => "data generation",
+            Phase::TestGeneration => "test generation",
+            Phase::Execution => "execution",
+            Phase::Analysis => "analysis",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Wall-clock timing of one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseTiming {
+    /// The step.
+    pub phase: Phase,
+    /// Its duration.
+    pub duration: Duration,
+}
+
+/// The complete output of a benchmark run.
+#[derive(Debug)]
+pub struct BenchmarkRun {
+    /// Spec name.
+    pub name: String,
+    /// Per-step timings, in Figure 1 order.
+    pub phases: Vec<PhaseTiming>,
+    /// (dataset name, kind, items, approx bytes) per generated input.
+    pub data_summary: Vec<(String, String, usize, usize)>,
+    /// Achieved generation rate (items/sec) and its error vs target.
+    pub generation_rate: Option<(f64, Option<f64>)>,
+    /// Workload results from the execution step.
+    pub results: Vec<WorkloadResult>,
+    /// The rendered analysis table.
+    pub analysis: String,
+}
+
+/// The benchmark runner: Function + Execution layers with a run method.
+#[derive(Debug, Default)]
+pub struct Benchmark {
+    function_layer: FunctionLayer,
+    execution_layer: ExecutionLayer,
+}
+
+impl Benchmark {
+    /// A runner with default layers (built-in generators + prescriptions).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Access the function layer (to register generators/prescriptions).
+    pub fn function_layer_mut(&mut self) -> &mut FunctionLayer {
+        &mut self.function_layer
+    }
+
+    /// Access the execution layer configuration.
+    pub fn execution_layer_mut(&mut self) -> &mut ExecutionLayer {
+        &mut self.execution_layer
+    }
+
+    /// Run the five-step process for `spec`.
+    pub fn run(&self, spec: &BenchmarkSpec) -> Result<BenchmarkRun> {
+        let mut phases = Vec::with_capacity(5);
+
+        // ---- 1. Planning ----
+        let t0 = Instant::now();
+        let prescription = self.function_layer.repository.get(&spec.prescription)?.clone();
+        prescription.validate()?;
+        phases.push(PhaseTiming { phase: Phase::Planning, duration: t0.elapsed() });
+
+        // ---- 2. Data generation ----
+        let t0 = Instant::now();
+        let mut datasets: BTreeMap<String, Dataset> = BTreeMap::new();
+        let mut data_summary = Vec::new();
+        let mut generation_rate = None;
+        for (i, data_spec) in prescription.data.iter().enumerate() {
+            let generator = self.function_layer.generators.build(&data_spec.generator)?;
+            let items = spec.scale.unwrap_or(data_spec.items);
+            let seed = spec.seed.wrapping_add(i as u64);
+            let dataset = if spec.target_rate.is_some() || spec.generator_workers > 1 {
+                let mut controller = VelocityController::new(spec.generator_workers)?
+                    .with_chunk_items((items / 8).max(16));
+                if let Some(rate) = spec.target_rate {
+                    controller = controller.with_target_rate(rate);
+                }
+                let outcome = controller.run(generator.as_ref(), seed, items)?;
+                generation_rate = Some((outcome.achieved_rate, outcome.rate_error()));
+                merge_datasets(outcome.datasets)?
+            } else {
+                generator.generate(seed, &VolumeSpec::Items(items))?
+            };
+            data_summary.push((
+                data_spec.name.clone(),
+                dataset.kind().to_string(),
+                dataset.item_count(),
+                dataset.byte_size(),
+            ));
+            datasets.insert(data_spec.name.clone(), dataset);
+        }
+        phases.push(PhaseTiming { phase: Phase::DataGeneration, duration: t0.elapsed() });
+
+        // ---- 3. Test generation ----
+        let t0 = Instant::now();
+        let test = TestGenerator::materialize(prescription, spec.system, spec.seed)?;
+        phases.push(PhaseTiming { phase: Phase::TestGeneration, duration: t0.elapsed() });
+
+        // ---- 4. Execution ----
+        let t0 = Instant::now();
+        let results = self.execute(&test.prescription, spec, datasets)?;
+        phases.push(PhaseTiming { phase: Phase::Execution, duration: t0.elapsed() });
+
+        // ---- 5. Analysis & evaluation ----
+        let t0 = Instant::now();
+        let analysis = render_analysis(&spec.name, &results, &data_summary);
+        phases.push(PhaseTiming { phase: Phase::Analysis, duration: t0.elapsed() });
+
+        Ok(BenchmarkRun {
+            name: spec.name.clone(),
+            phases,
+            data_summary,
+            generation_rate,
+            results,
+            analysis,
+        })
+    }
+
+    /// Dispatch a prescribed test to the right engine/kernel.
+    fn execute(
+        &self,
+        prescription: &Prescription,
+        spec: &BenchmarkSpec,
+        datasets: BTreeMap<String, Dataset>,
+    ) -> Result<Vec<WorkloadResult>> {
+        let ops = prescription.pattern.operations();
+        let scale = spec.scale.unwrap_or_else(|| {
+            prescription.data.first().map_or(1000, |d| d.items)
+        });
+        let job = JobConfig {
+            workers: self.execution_layer.system_config.threads,
+            ..JobConfig::default()
+        };
+
+        // Stream kernels.
+        if let Some(Operation::WindowAggregate { window_ms, .. }) =
+            ops.iter().find(|o| matches!(o, Operation::WindowAggregate { .. }))
+        {
+            let events = datasets
+                .values()
+                .find_map(|d| match d {
+                    Dataset::Stream(e) => Some(e.clone()),
+                    _ => None,
+                })
+                .ok_or_else(|| {
+                    BdbError::Execution("window aggregation needs a stream data set".into())
+                })?;
+            let cfg = bdb_workloads::streaming::StreamAnalyticsConfig {
+                window_ms: *window_ms,
+                ..Default::default()
+            };
+            return Ok(vec![bdb_workloads::streaming::windowed_aggregation(events, &cfg).1]);
+        }
+
+        // Text kernels.
+        if ops.iter().any(|o| matches!(o, Operation::WordCount)) {
+            let docs = expect_text(&datasets)?;
+            let r = match spec.system {
+                SystemKind::MapReduce => micro::wordcount_mapreduce(docs, &job).1,
+                _ => micro::wordcount_native(docs).1,
+            };
+            return Ok(vec![r]);
+        }
+        if let Some(Operation::Grep { pattern }) =
+            ops.iter().find(|o| matches!(o, Operation::Grep { .. }))
+        {
+            let (docs, vocab) = expect_text_with_vocab(&datasets)?;
+            let r = match spec.system {
+                SystemKind::MapReduce => micro::grep_mapreduce(docs, vocab, pattern, &job).1,
+                _ => micro::grep_native(docs, vocab, pattern).1,
+            };
+            return Ok(vec![r]);
+        }
+
+        // Iterative kernels dispatch on the data kind and fold function.
+        if let WorkloadPattern::Iterative { body, .. } = &prescription.pattern {
+            let agg = body.iter().find_map(|s| match &s.op {
+                Operation::Aggregate { function, .. } => Some(*function),
+                _ => None,
+            });
+            if let Some(Dataset::Graph(g)) = datasets.values().find(|d| matches!(d, Dataset::Graph(_))) {
+                let r = match agg {
+                    Some(AggSpec::Min) => {
+                        // Connected components over the undirected closure.
+                        let mut und = g.clone();
+                        for &(u, v) in g.edges() {
+                            und.add_edge(v, u);
+                        }
+                        social::connected_components(&und.to_csr()).2
+                    }
+                    _ => match spec.system {
+                        SystemKind::MapReduce => {
+                            search::pagerank_mapreduce(g, &Default::default(), &job).2
+                        }
+                        _ => search::pagerank_native(&g.to_csr(), &Default::default()).2,
+                    },
+                };
+                return Ok(vec![r]);
+            }
+            // Table-backed iteration: k-means over feature vectors.
+            let (points, _) = social::gaussian_mixture(scale as usize, 4, 3, 2.0, spec.seed);
+            let r = match spec.system {
+                SystemKind::MapReduce => {
+                    social::kmeans_mapreduce(&points, &Default::default(), spec.seed, &job).3
+                }
+                _ => social::kmeans_native(&points, &Default::default(), spec.seed).3,
+            };
+            return Ok(vec![r]);
+        }
+
+        // Element-op mixes run as an OLTP driver on the KV store.
+        let element_ops: Vec<&Operation> = ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Operation::Get { .. }
+                        | Operation::Put { .. }
+                        | Operation::UpdateKey { .. }
+                        | Operation::DeleteKey { .. }
+                        | Operation::ScanRange { .. }
+                )
+            })
+            .copied()
+            .collect();
+        if !element_ops.is_empty() {
+            let n = element_ops.len() as f64;
+            let frac = |pred: fn(&Operation) -> bool| -> f64 {
+                element_ops.iter().filter(|o| pred(o)).count() as f64 / n
+            };
+            let spec_kv = oltp::YcsbSpec {
+                name: "prescribed",
+                read: frac(|o| matches!(o, Operation::Get { .. })),
+                update: frac(|o| matches!(o, Operation::UpdateKey { .. })),
+                insert: frac(|o| matches!(o, Operation::Put { .. }))
+                    + frac(|o| matches!(o, Operation::DeleteKey { .. })),
+                scan: frac(|o| matches!(o, Operation::ScanRange { .. })),
+                rmw: 0.0,
+                zipf_exponent: 0.99,
+                scan_len: element_ops
+                    .iter()
+                    .find_map(|o| match o {
+                        Operation::ScanRange { limit, .. } => Some(*limit),
+                        _ => None,
+                    })
+                    .unwrap_or(0),
+            };
+            let config = oltp::YcsbConfig {
+                record_count: scale,
+                operation_count: scale * 2,
+                clients: self.execution_layer.system_config.effective_threads().min(8),
+                value_size: 100,
+            };
+            return Ok(vec![oltp::run_ycsb(&spec_kv, &config, spec.seed).2]);
+        }
+
+        // Everything else: a table pattern bound to an engine.
+        let tables: BTreeMap<String, bdb_common::record::Table> = datasets
+            .into_iter()
+            .filter_map(|(k, v)| match v {
+                Dataset::Table(t) => Some((k, t)),
+                _ => None,
+            })
+            .collect();
+        if tables.is_empty() {
+            return Err(BdbError::Execution(format!(
+                "no executable dispatch for prescription {}",
+                prescription.name
+            )));
+        }
+        let (bound, system_name) = match spec.system {
+            SystemKind::MapReduce => (
+                MapReduceBinding { config: job }.execute(&prescription.pattern, &tables)?,
+                "mapreduce",
+            ),
+            _ => (SqlBinding.execute(&prescription.pattern, &tables)?, "sql"),
+        };
+        let mut collector = bdb_metrics::MetricsCollector::new();
+        collector.record_operations(bound.output.len() as u64);
+        let user = collector.finish();
+        let result = WorkloadResult::assemble(
+            &prescription.name,
+            system_name,
+            WorkloadCategory::RealTimeAnalytics,
+            user,
+            bdb_metrics::OpCounts { record_ops: bound.record_ops, float_ops: 0 },
+            scale,
+        )
+        .with_detail("output_rows", bound.output.len() as f64);
+        Ok(vec![result])
+    }
+}
+
+fn expect_text(datasets: &BTreeMap<String, Dataset>) -> Result<&Vec<bdb_common::text::Document>> {
+    datasets
+        .values()
+        .find_map(|d| match d {
+            Dataset::Text { docs, .. } => Some(docs),
+            _ => None,
+        })
+        .ok_or_else(|| BdbError::Execution("prescription needs a text data set".into()))
+}
+
+fn expect_text_with_vocab(
+    datasets: &BTreeMap<String, Dataset>,
+) -> Result<(&Vec<bdb_common::text::Document>, &bdb_common::text::Vocabulary)> {
+    datasets
+        .values()
+        .find_map(|d| match d {
+            Dataset::Text { docs, vocab } => Some((docs, vocab)),
+            _ => None,
+        })
+        .ok_or_else(|| BdbError::Execution("prescription needs a text data set".into()))
+}
+
+fn merge_datasets(mut parts: Vec<Dataset>) -> Result<Dataset> {
+    let first = parts
+        .drain(..1)
+        .next()
+        .ok_or_else(|| BdbError::DataGen("no data generated".into()))?;
+    parts.into_iter().try_fold(first, |acc, part| {
+        Ok(match (acc, part) {
+            (Dataset::Text { mut docs, vocab }, Dataset::Text { docs: d2, .. }) => {
+                docs.extend(d2);
+                Dataset::Text { docs, vocab }
+            }
+            (Dataset::Table(mut t), Dataset::Table(t2)) => {
+                t.append(t2)?;
+                Dataset::Table(t)
+            }
+            (Dataset::Graph(mut g), Dataset::Graph(g2)) => {
+                for &(u, v) in g2.edges() {
+                    g.add_edge(u, v);
+                }
+                Dataset::Graph(g)
+            }
+            (Dataset::Stream(mut e), Dataset::Stream(e2)) => {
+                e.extend(e2);
+                Dataset::Stream(e)
+            }
+            _ => return Err(BdbError::DataGen("mixed dataset kinds in merge".into())),
+        })
+    })
+}
+
+fn render_analysis(
+    name: &str,
+    results: &[WorkloadResult],
+    data_summary: &[(String, String, usize, usize)],
+) -> String {
+    let mut data = TableReporter::new(
+        &format!("{name}: generated data"),
+        &["dataset", "kind", "items", "bytes"],
+    );
+    for (n, k, items, bytes) in data_summary {
+        data.add_row(&[n.clone(), k.clone(), items.to_string(), bytes.to_string()]);
+    }
+    let mut table = TableReporter::new(
+        &format!("{name}: results"),
+        &["workload", "system", "category", "secs", "ops/s", "Mrops", "joules", "dollars"],
+    );
+    for r in results {
+        table.add_row(&[
+            r.report.workload.clone(),
+            r.report.system.clone(),
+            r.category.to_string(),
+            fmt_num(r.report.user.duration_secs),
+            fmt_num(r.report.user.throughput_ops_per_sec),
+            fmt_num(r.report.arch.mrops),
+            fmt_num(r.report.energy_joules),
+            fmt_num(r.report.cost_dollars),
+        ]);
+    }
+    format!("{}\n{}", data.to_text(), table.to_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(prescription: &str, system: SystemKind, scale: u64) -> BenchmarkRun {
+        let spec = BenchmarkSpec::new("test")
+            .with_prescription(prescription)
+            .with_system(system)
+            .with_scale(scale)
+            .with_seed(5);
+        Benchmark::new().run(&spec).unwrap()
+    }
+
+    #[test]
+    fn five_phases_in_order() {
+        let r = run("micro/wordcount", SystemKind::Native, 100);
+        let order: Vec<Phase> = r.phases.iter().map(|p| p.phase).collect();
+        assert_eq!(
+            order,
+            vec![
+                Phase::Planning,
+                Phase::DataGeneration,
+                Phase::TestGeneration,
+                Phase::Execution,
+                Phase::Analysis,
+            ]
+        );
+        assert_eq!(r.results.len(), 1);
+        assert!(r.analysis.contains("micro/wordcount"));
+    }
+
+    #[test]
+    fn wordcount_runs_on_both_systems() {
+        let native = run("micro/wordcount", SystemKind::Native, 100);
+        let mr = run("micro/wordcount", SystemKind::MapReduce, 100);
+        assert_eq!(native.results[0].report.system, "native");
+        assert_eq!(mr.results[0].report.system, "mapreduce");
+    }
+
+    #[test]
+    fn grep_dispatches() {
+        let r = run("micro/grep", SystemKind::Native, 100);
+        assert_eq!(r.results[0].report.workload, "micro/grep");
+    }
+
+    #[test]
+    fn relational_prescription_binds_to_sql_and_mapreduce() {
+        let sql = run("relational/select-aggregate", SystemKind::Sql, 300);
+        let mr = run("relational/select-aggregate", SystemKind::MapReduce, 300);
+        assert_eq!(sql.results[0].report.system, "sql");
+        assert_eq!(mr.results[0].report.system, "mapreduce");
+        // Functional view: identical output row counts.
+        assert_eq!(
+            sql.results[0].detail("output_rows"),
+            mr.results[0].detail("output_rows")
+        );
+    }
+
+    #[test]
+    fn oltp_prescription_runs_on_kv() {
+        let r = run("oltp/read-mostly", SystemKind::KeyValue, 300);
+        assert_eq!(r.results[0].report.system, "kv");
+        assert_eq!(r.results[0].category, WorkloadCategory::OnlineServices);
+    }
+
+    #[test]
+    fn iterative_graph_prescription_runs_pagerank() {
+        let r = run("search/pagerank", SystemKind::Native, 256);
+        assert_eq!(r.results[0].report.workload, "search/pagerank");
+        assert!(r.results[0].detail("iterations").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn iterative_cc_prescription() {
+        let r = run("social/connected-components", SystemKind::Native, 256);
+        assert_eq!(r.results[0].report.workload, "social/connected-components");
+    }
+
+    #[test]
+    fn iterative_table_prescription_runs_kmeans() {
+        let r = run("social/kmeans", SystemKind::Native, 300);
+        assert_eq!(r.results[0].report.workload, "social/kmeans");
+    }
+
+    #[test]
+    fn velocity_controlled_generation_reports_rate() {
+        let spec = BenchmarkSpec::new("rate")
+            .with_prescription("micro/wordcount")
+            .with_scale(200)
+            .with_generator_workers(2)
+            .with_target_rate(5_000.0)
+            .with_seed(1);
+        let r = Benchmark::new().run(&spec).unwrap();
+        let (rate, err) = r.generation_rate.unwrap();
+        assert!(rate > 0.0);
+        assert!(err.unwrap() < 0.5, "rate error {err:?}");
+        // All requested items were generated.
+        assert_eq!(r.data_summary[0].2, 200);
+    }
+
+    #[test]
+    fn unknown_prescription_fails_in_planning() {
+        let spec = BenchmarkSpec::new("x").with_prescription("nope/nothing");
+        assert!(Benchmark::new().run(&spec).is_err());
+    }
+}

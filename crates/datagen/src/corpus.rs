@@ -1,0 +1,253 @@
+//! Embedded "raw data" stand-ins (step 1 of Figure 3).
+//!
+//! The paper observes that obtaining a variety of real data is not trivial
+//! because owners will not share it; the accepted remedy is to fit models
+//! to whatever real data *is* available and generate synthetic data from
+//! the models. This module embeds three small public stand-ins that play
+//! the role of the raw data in every veracity experiment:
+//!
+//! * [`RAW_TEXT_CORPUS`] — 48 short documents over four clear topics
+//!   (astronomy, cooking, markets, football). Small, but with enough
+//!   topical structure for LDA to recover distinct topics — which is all
+//!   the veracity pipeline needs to demonstrate model-vs-naive divergence.
+//! * [`karate_club_graph`] — Zachary's karate club network (34 vertices,
+//!   78 undirected edges), the classic public social graph.
+//! * [`raw_retail_table`] — a fixed 512-row orders table constructed once
+//!   with a frozen seed and deliberately *non-textbook* distributions
+//!   (mixture prices, popularity skew, weekly seasonality). The table
+//!   generator must *fit* these from the data; it never sees the recipe.
+
+use bdb_common::prelude::*;
+use bdb_common::record::Table;
+use bdb_common::value::{DataType, Field, Schema, Value};
+
+/// Four-topic raw corpus: 12 documents per topic.
+pub const RAW_TEXT_CORPUS: [&str; 48] = [
+    // Astronomy
+    "the telescope gathered faint light from the distant galaxy while astronomers measured the spectrum of each star and charted the slow drift of the nebula across the night sky",
+    "a comet swung past the outer planets and its tail of dust and ice glowed as the solar wind pressed against it far beyond the orbit of mars",
+    "the observatory dome opened at dusk and the survey camera began imaging clusters of stars hunting for the small dip in brightness that betrays a transiting planet",
+    "gravity bends the path of light around a massive galaxy producing arcs and rings that let astronomers weigh the dark matter no telescope can see directly",
+    "the radio dish listened to the quiet hiss of hydrogen across the galaxy mapping spiral arms and the rotation that hints at unseen mass in the halo",
+    "astronomers compared the spectrum of the supernova with models of exploding stars and estimated the distance to its host galaxy from the fading light curve",
+    "the moon passed before the sun and for four minutes the corona shimmered while instruments recorded particles streaming into space",
+    "a young star still wrapped in gas and dust flickered in the infrared images and the disk around it showed gaps where planets may be forming",
+    "the space probe fell past the icy moon and its camera caught plumes of water venting from cracks warmed by the tides of the giant planet",
+    "each night the survey telescope scans the southern sky and software flags any star whose brightness changes comparing new images against the deep reference map",
+    "light from the early universe stretched into microwaves carries a faint pattern that tells cosmologists how matter clumped into the first galaxies",
+    "the asteroid tumbled slowly in the radar images and measurements of its orbit ruled out any close approach to earth for the next century",
+    // Cooking
+    "heat the olive oil in a heavy pan and soften the onion and garlic before adding the chopped tomato basil and a generous pinch of salt to the simmering sauce",
+    "knead the dough until smooth and elastic then let it rest under a damp cloth while the oven warms and the yeast lifts the loaf with slow bubbles",
+    "whisk the eggs with cream and a little salt then pour into the buttered pan folding gently over low heat until the curds are soft and glossy",
+    "roast the chicken with lemon thyme and butter basting every twenty minutes until the skin turns golden and the juices run clear at the bone",
+    "toast the spices in a dry pan until fragrant then grind them with garlic ginger and chili into a paste for the slow simmered curry",
+    "fold the flour into the beaten butter and sugar add the eggs one at a time and bake the cake until a skewer comes out clean",
+    "simmer the stock with onion carrot and celery skimming the surface then strain it clear and season the broth before adding the noodles",
+    "slice the ripe tomato layer it with mozzarella and basil and finish the salad with olive oil flaky salt and a drizzle of vinegar",
+    "sear the steak in a smoking pan rest it under foil then slice against the grain and serve with the pan sauce of butter and shallot",
+    "stir the rice slowly adding warm stock one ladle at a time until the risotto turns creamy then fold in parmesan butter and black pepper",
+    "steam the fish with ginger and spring onion pour over hot oil and soy sauce and serve at once with plain rice to catch the fragrant juices",
+    "caramelize the sugar until amber whisk in cream and butter off the heat and let the sauce cool before pouring it over the baked apples",
+    // Markets / finance
+    "the central bank raised interest rates and bond yields climbed while equity investors weighed the risk of slower growth against stubborn inflation",
+    "the quarterly earnings beat expectations and the stock rallied in early trading though analysts trimmed forecasts for margin growth next year",
+    "currency traders watched the dollar strengthen as inflation data surprised and emerging market bonds sold off under the pressure of rising yields",
+    "the fund rebalanced its portfolio shifting capital from growth stocks into value shares and hedging currency exposure with forward contracts",
+    "oil prices spiked on supply fears and energy shares led the index higher while airlines warned that fuel costs would squeeze their margins",
+    "the startup closed a new funding round at a lower valuation and investors demanded a clearer path to profit before the planned public offering",
+    "credit spreads widened as default risk rose and banks tightened lending standards cooling the market for leveraged buyouts and corporate debt",
+    "the exchange reported record trading volume as volatility jumped and market makers widened quotes to manage their inventory risk",
+    "pension funds increased allocations to infrastructure seeking steady yield while insurers matched long liabilities with long duration bonds",
+    "the retailer cut its dividend after weak holiday sales and the shares fell while bargain hunters debated whether the valuation had bottomed",
+    "economists revised growth forecasts downward citing weak exports and soft consumer spending though the labor market remained surprisingly tight",
+    "the merger cleared its final regulatory review and arbitrage traders captured the narrowing spread between the offer price and the market",
+    // Football
+    "the striker split the defense with a quick turn and curled the ball into the far corner sending the home crowd into a roar",
+    "the keeper pushed the penalty onto the post and the defenders scrambled the rebound clear as the final whistle approached",
+    "the manager switched to three at the back at halftime and the extra midfielder finally gave the team control of the tempo",
+    "a long pass released the winger down the touchline and his low cross found the striker for a simple tap in at the near post",
+    "the derby finished level after a late equalizer and both sets of fans argued about the referee and the disallowed goal",
+    "the young midfielder won the ball high up the pitch and his through pass set up the decisive goal in the cup final",
+    "injuries forced the coach to start a makeshift defense and the team dropped deep soaking up pressure and striking on the counter",
+    "the captain headed home the corner in stoppage time and the league title race tightened with three games left to play",
+    "scouts watched the academy forward score twice and noted his movement between the lines and his calm finishing in the box",
+    "the visiting team pressed high from the kickoff forced an early error and scored inside two minutes silencing the stadium",
+    "a video review overturned the offside call and the goal stood giving the underdogs a famous away win in the qualifier",
+    "the transfer window closed with the club signing a veteran defender on loan and selling their top scorer to a rival league",
+];
+
+/// Zachary's karate club: 34 vertices, 78 undirected edges (1-indexed in
+/// the classic listing; stored 0-indexed here).
+const KARATE_EDGES: [(u32, u32); 78] = [
+    (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9), (1, 11), (1, 12), (1, 13),
+    (1, 14), (1, 18), (1, 20), (1, 22), (1, 32),
+    (2, 3), (2, 4), (2, 8), (2, 14), (2, 18), (2, 20), (2, 22), (2, 31),
+    (3, 4), (3, 8), (3, 9), (3, 10), (3, 14), (3, 28), (3, 29), (3, 33),
+    (4, 8), (4, 13), (4, 14),
+    (5, 7), (5, 11),
+    (6, 7), (6, 11), (6, 17),
+    (7, 17),
+    (9, 31), (9, 33), (9, 34),
+    (10, 34),
+    (14, 34),
+    (15, 33), (15, 34),
+    (16, 33), (16, 34),
+    (19, 33), (19, 34),
+    (20, 34),
+    (21, 33), (21, 34),
+    (23, 33), (23, 34),
+    (24, 26), (24, 28), (24, 30), (24, 33), (24, 34),
+    (25, 26), (25, 28), (25, 32),
+    (26, 32),
+    (27, 30), (27, 34),
+    (28, 34),
+    (29, 32), (29, 34),
+    (30, 33), (30, 34),
+    (31, 33), (31, 34),
+    (32, 33), (32, 34),
+    (33, 34),
+];
+
+/// The karate-club graph as an undirected (bidirectional) edge-list graph.
+pub fn karate_club_graph() -> EdgeListGraph {
+    let mut g = EdgeListGraph::new(34);
+    for &(u, v) in &KARATE_EDGES {
+        g.add_undirected_edge(u - 1, v - 1);
+    }
+    g
+}
+
+/// The schema of the raw retail orders table.
+pub fn retail_schema() -> Schema {
+    Schema::new(vec![
+        Field::new("order_id", DataType::Int),
+        Field::new("customer_id", DataType::Int),
+        Field::new("product", DataType::Text),
+        Field::new("category", DataType::Text),
+        Field::new("quantity", DataType::Int),
+        Field::new("price", DataType::Float),
+        Field::new("order_ts", DataType::Timestamp),
+    ])
+}
+
+/// Product catalogue used by the raw table (name, category).
+pub const RETAIL_PRODUCTS: [(&str, &str); 12] = [
+    ("laptop", "electronics"),
+    ("phone", "electronics"),
+    ("headphones", "electronics"),
+    ("monitor", "electronics"),
+    ("desk", "furniture"),
+    ("chair", "furniture"),
+    ("lamp", "furniture"),
+    ("notebook", "stationery"),
+    ("pen", "stationery"),
+    ("backpack", "accessories"),
+    ("bottle", "accessories"),
+    ("charger", "electronics"),
+];
+
+/// The fixed raw retail table: 512 orders.
+///
+/// Constructed once from a frozen seed with a recipe the fitting code never
+/// sees: product popularity is Zipf(1.1), prices are a per-product base
+/// times a lognormal jitter, quantities are geometric-ish, and timestamps
+/// carry a weekly cycle (weekends ~2.4x weekday volume). It stands in for a
+/// confidential production extract.
+pub fn raw_retail_table() -> Table {
+    let mut table = Table::with_capacity(retail_schema(), 512);
+    let tree = SeedTree::new(0x5EED_0F0A_0B1E_0001);
+    let zipf = Zipf::new(RETAIL_PRODUCTS.len() as u64, 1.1);
+    let price_jitter = LogNormal::new(0.0, 0.25);
+    let base_prices = [
+        950.0, 620.0, 140.0, 310.0, 260.0, 180.0, 45.0, 6.0, 2.5, 55.0, 18.0, 25.0,
+    ];
+    let mut rng = tree.rng();
+    let mut ts: i64 = 0;
+    for order_id in 0..512i64 {
+        let pidx = zipf.sample(&mut rng) as usize;
+        let (name, category) = RETAIL_PRODUCTS[pidx];
+        // Quantity: geometric with p = 0.55, capped at 8.
+        let mut qty = 1i64;
+        while qty < 8 && rng.next_f64() > 0.55 {
+            qty += 1;
+        }
+        let price = base_prices[pidx] * price_jitter.sample(&mut rng);
+        // Weekly cycle: weekend steps are shorter, concentrating volume.
+        let day = (ts / 86_400_000) % 7;
+        let mean_gap_ms = if day >= 5 { 35_000_000.0 } else { 85_000_000.0 };
+        ts += (Exponential::new(1.0 / mean_gap_ms).sample(&mut rng)) as i64 + 1;
+        let customer = rng.next_bounded(160) as i64;
+        table.push_unchecked(vec![
+            Value::Int(order_id),
+            Value::Int(customer),
+            Value::Text(name.to_string()),
+            Value::Text(category.to_string()),
+            Value::Int(qty),
+            Value::Float((price * 100.0).round() / 100.0),
+            Value::Timestamp(ts),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_four_topics_of_twelve() {
+        assert_eq!(RAW_TEXT_CORPUS.len(), 48);
+        // Topic markers appear only in their own quarter.
+        assert!(RAW_TEXT_CORPUS[..12].iter().any(|d| d.contains("galaxy")));
+        assert!(RAW_TEXT_CORPUS[12..24].iter().any(|d| d.contains("butter")));
+        assert!(RAW_TEXT_CORPUS[24..36].iter().any(|d| d.contains("bond")));
+        assert!(RAW_TEXT_CORPUS[36..].iter().any(|d| d.contains("goal")));
+    }
+
+    #[test]
+    fn karate_club_shape() {
+        let g = karate_club_graph();
+        assert_eq!(g.num_vertices(), 34);
+        assert_eq!(g.num_edges(), 156); // 78 undirected = 156 directed
+        // Vertex 33 (0-indexed) is the instructor hub with degree 17.
+        let degrees = g.out_degrees();
+        assert_eq!(degrees[33], 17);
+        assert_eq!(degrees[0], 16);
+        // Degree sum equals directed edge count.
+        assert_eq!(degrees.iter().sum::<u32>() as usize, 156);
+    }
+
+    #[test]
+    fn raw_retail_table_is_stable() {
+        let a = raw_retail_table();
+        let b = raw_retail_table();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 512);
+        a.schema().validate_row(&a.rows()[0]).unwrap();
+    }
+
+    #[test]
+    fn raw_retail_popularity_is_skewed() {
+        let t = raw_retail_table();
+        let products = t.column("product").unwrap();
+        let laptops = products
+            .iter()
+            .filter(|v| v.as_str() == Some("laptop"))
+            .count();
+        let monitors = products
+            .iter()
+            .filter(|v| v.as_str() == Some("monitor"))
+            .count();
+        assert!(laptops > monitors, "{laptops} vs {monitors}");
+    }
+
+    #[test]
+    fn raw_retail_timestamps_are_monotonic() {
+        let t = raw_retail_table();
+        let ts = t.column("order_ts").unwrap();
+        for w in ts.windows(2) {
+            assert!(w[0].as_i64().unwrap() < w[1].as_i64().unwrap());
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Graph data generation (social-network path of Figure 3).
+//!
+//! Veracity for graph data means preserving structural characteristics of
+//! a real graph — foremost its degree distribution. Three generators:
+//!
+//! * [`RmatGenerator`] — the recursive-matrix / stochastic-Kronecker
+//!   family (BigDataBench generates its social graphs this way). Produces
+//!   power-law degree distributions whose skew follows the quadrant
+//!   probabilities.
+//! * [`BaGenerator`] — Barabási–Albert preferential attachment, the
+//!   classic scale-free model.
+//! * [`ErdosRenyiGenerator`] — uniform random edges; the
+//!   veracity-*un-considered* baseline (binomial degrees, no heavy tail)
+//!   used by the ablation benches.
+//!
+//! [`fit_rmat`] closes the Figure 3 loop for graphs: given a raw graph, it
+//! grid-searches RMAT skew parameters so generated graphs reproduce the
+//! raw graph's hub concentration (the stable structural statistic for
+//! small reference graphs) — a deliberately simple stand-in for KronFit,
+//! documented in DESIGN.md.
+
+use crate::volume::VolumeSpec;
+use crate::{DataGenerator, DataSourceKind, Dataset};
+use bdb_common::graph::DegreeDistribution;
+use bdb_common::prelude::*;
+use bdb_common::stats::js_divergence;
+use bdb_common::{BdbError, Result};
+
+/// R-MAT (recursive matrix) generator.
+///
+/// Each edge lands in one of four adjacency-matrix quadrants with
+/// probabilities `(a, b, c, d)`, recursively, `log2(n)` times. `a >> d`
+/// yields strong degree skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatGenerator {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Average directed edges per vertex.
+    pub edges_per_vertex: f64,
+}
+
+impl RmatGenerator {
+    /// An R-MAT generator with quadrant probabilities `(a, b, c, 1-a-b-c)`.
+    ///
+    /// # Errors
+    /// Fails unless `a, b, c >= 0`, `a + b + c < 1`, and
+    /// `edges_per_vertex > 0`.
+    pub fn new(a: f64, b: f64, c: f64, edges_per_vertex: f64) -> Result<Self> {
+        if a < 0.0 || b < 0.0 || c < 0.0 || a + b + c >= 1.0 {
+            return Err(BdbError::InvalidConfig(format!(
+                "invalid RMAT quadrants ({a}, {b}, {c})"
+            )));
+        }
+        if edges_per_vertex <= 0.0 {
+            return Err(BdbError::InvalidConfig("edges_per_vertex must be positive".into()));
+        }
+        Ok(Self { a, b, c, edges_per_vertex })
+    }
+
+    /// The canonical skewed parameterisation (0.57, 0.19, 0.19).
+    pub fn standard(edges_per_vertex: f64) -> Self {
+        Self::new(0.57, 0.19, 0.19, edges_per_vertex).expect("standard params are valid")
+    }
+
+    /// Generate a graph with `2^scale` vertices.
+    pub fn generate_graph(&self, seed: u64, scale: u32) -> EdgeListGraph {
+        let n = 1usize << scale;
+        let m = (n as f64 * self.edges_per_vertex) as u64;
+        let tree = SeedTree::new(seed).child_named("rmat");
+        let mut g = EdgeListGraph::new(n);
+        let ab = self.a + self.b;
+        let abc = ab + self.c;
+        for e in 0..m {
+            let mut rng = tree.cell(e);
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..scale {
+                u <<= 1;
+                v <<= 1;
+                let r = rng.next_f64();
+                if r < self.a {
+                    // top-left: no bits set
+                } else if r < ab {
+                    v |= 1;
+                } else if r < abc {
+                    u |= 1;
+                } else {
+                    u |= 1;
+                    v |= 1;
+                }
+            }
+            g.add_edge(u as u32, v as u32);
+        }
+        g
+    }
+}
+
+impl DataGenerator for RmatGenerator {
+    fn name(&self) -> &str {
+        "graph/rmat"
+    }
+
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Graph
+    }
+
+    fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
+        let vertices = volume.resolve_items(self.edges_per_vertex * 8.0, 1 << 10)?;
+        let scale = (vertices.max(2) as f64).log2().ceil() as u32;
+        Ok(Dataset::Graph(self.generate_graph(seed, scale)))
+    }
+}
+
+/// Barabási–Albert preferential attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BaGenerator {
+    /// Edges added per new vertex.
+    pub edges_per_vertex: usize,
+}
+
+impl BaGenerator {
+    /// A BA generator attaching `m` edges per new vertex.
+    ///
+    /// # Errors
+    /// Fails when `m == 0`.
+    pub fn new(m: usize) -> Result<Self> {
+        if m == 0 {
+            return Err(BdbError::InvalidConfig("BA needs m >= 1".into()));
+        }
+        Ok(Self { edges_per_vertex: m })
+    }
+
+    /// Generate a graph with `n` vertices.
+    pub fn generate_graph(&self, seed: u64, n: usize) -> EdgeListGraph {
+        let m = self.edges_per_vertex;
+        let mut rng = SeedTree::new(seed).child_named("ba").rng();
+        let mut g = EdgeListGraph::new(n.max(m + 1));
+        // Attachment target pool: vertex v appears once per incident edge,
+        // so uniform draws from the pool are degree-proportional.
+        let mut pool: Vec<u32> = Vec::with_capacity(2 * m * n);
+        // Seed clique over the first m+1 vertices.
+        for u in 0..=(m as u32) {
+            for v in 0..u {
+                g.add_undirected_edge(u, v);
+                pool.push(u);
+                pool.push(v);
+            }
+        }
+        for u in (m as u32 + 1)..(n as u32) {
+            let mut targets = std::collections::BTreeSet::new();
+            while targets.len() < m {
+                let t = pool[rng.next_bounded(pool.len() as u64) as usize];
+                if t != u {
+                    targets.insert(t);
+                }
+            }
+            for &t in &targets {
+                g.add_undirected_edge(u, t);
+                pool.push(u);
+                pool.push(t);
+            }
+        }
+        g
+    }
+}
+
+impl DataGenerator for BaGenerator {
+    fn name(&self) -> &str {
+        "graph/barabasi-albert"
+    }
+
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Graph
+    }
+
+    fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
+        let vertices = volume.resolve_items(self.edges_per_vertex as f64 * 16.0, 1 << 10)?;
+        Ok(Dataset::Graph(self.generate_graph(seed, vertices as usize)))
+    }
+}
+
+/// Erdős–Rényi G(n, m): the no-veracity baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErdosRenyiGenerator {
+    /// Average directed edges per vertex.
+    pub edges_per_vertex: f64,
+}
+
+impl ErdosRenyiGenerator {
+    /// Generate a graph with `n` vertices and `n * edges_per_vertex` edges.
+    pub fn generate_graph(&self, seed: u64, n: usize) -> EdgeListGraph {
+        let m = (n as f64 * self.edges_per_vertex) as u64;
+        let tree = SeedTree::new(seed).child_named("er");
+        let mut g = EdgeListGraph::new(n);
+        for e in 0..m {
+            let mut rng = tree.cell(e);
+            let u = rng.next_bounded(n as u64) as u32;
+            let v = rng.next_bounded(n as u64) as u32;
+            g.add_edge(u, v);
+        }
+        g
+    }
+}
+
+impl DataGenerator for ErdosRenyiGenerator {
+    fn name(&self) -> &str {
+        "graph/erdos-renyi"
+    }
+
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Graph
+    }
+
+    fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
+        let vertices = volume.resolve_items(self.edges_per_vertex * 8.0, 1 << 10)?;
+        Ok(Dataset::Graph(self.generate_graph(seed, vertices as usize)))
+    }
+}
+
+/// Degree-distribution distance between two graphs: JS divergence between
+/// their out-degree pmfs over aligned support.
+pub fn degree_distribution_distance(a: &EdgeListGraph, b: &EdgeListGraph) -> f64 {
+    let da = DegreeDistribution::from_degrees(&a.out_degrees()).pmf();
+    let db = DegreeDistribution::from_degrees(&b.out_degrees()).pmf();
+    let len = da.len().max(db.len()).max(1);
+    let pad = |mut v: Vec<f64>| {
+        v.resize(len, 0.0);
+        v
+    };
+    js_divergence(&pad(da), &pad(db))
+}
+
+/// Share of directed edges incident to the top-10% highest out-degree
+/// vertices: the hub-dominance statistic used to fit and validate graph
+/// models. Stable even for very small reference graphs, unlike the raw
+/// degree pmf.
+pub fn hub_concentration(g: &EdgeListGraph) -> f64 {
+    let mut d = g.out_degrees();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    let k = (d.len() / 10).max(1);
+    let top: u32 = d[..k].iter().sum();
+    let total: u32 = d.iter().sum();
+    top as f64 / total.max(1) as f64
+}
+
+/// Fit R-MAT skew to a raw graph by grid search (KronFit stand-in).
+///
+/// Tries a grid of `a` values (with `b = c` splitting the remainder) and
+/// keeps the parameters whose generated graphs best match the raw graph's
+/// [`hub_concentration`], averaged over a few sample seeds so the fit is
+/// stable for small reference graphs.
+pub fn fit_rmat(raw: &EdgeListGraph, seed: u64) -> Result<RmatGenerator> {
+    if raw.num_vertices() < 2 || raw.num_edges() == 0 {
+        return Err(BdbError::DataGen("raw graph too small to fit".into()));
+    }
+    let scale = (raw.num_vertices() as f64).log2().ceil() as u32;
+    let epv = raw.num_edges() as f64 / raw.num_vertices() as f64;
+    let target = hub_concentration(raw);
+    let mut best: Option<(f64, RmatGenerator)> = None;
+    for step in 0..=8 {
+        let a = 0.25 + 0.07 * step as f64; // 0.25 (uniform) .. 0.81 (extreme)
+        let rest = (1.0 - a) / 3.0;
+        let cand = RmatGenerator::new(a, rest, rest, epv)?;
+        let mut d = 0.0;
+        for round in 0..3u64 {
+            let sample = cand.generate_graph(seed.wrapping_add(round * 6151), scale);
+            d += (hub_concentration(&sample) - target).abs() / 3.0;
+        }
+        if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+            best = Some((d, cand));
+        }
+    }
+    Ok(best.expect("grid is non-empty").1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::karate_club_graph;
+
+    #[test]
+    fn rmat_rejects_bad_params() {
+        assert!(RmatGenerator::new(0.5, 0.3, 0.3, 8.0).is_err());
+        assert!(RmatGenerator::new(-0.1, 0.3, 0.3, 8.0).is_err());
+        assert!(RmatGenerator::new(0.5, 0.2, 0.2, 0.0).is_err());
+    }
+
+    #[test]
+    fn rmat_generates_requested_shape() {
+        let g = RmatGenerator::standard(8.0).generate_graph(1, 10);
+        assert_eq!(g.num_vertices(), 1024);
+        assert_eq!(g.num_edges(), 8 * 1024);
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let gen = RmatGenerator::standard(4.0);
+        assert_eq!(gen.generate_graph(5, 8), gen.generate_graph(5, 8));
+        assert_ne!(gen.generate_graph(5, 8), gen.generate_graph(6, 8));
+    }
+
+    #[test]
+    fn rmat_skew_raises_max_degree() {
+        let uniform = RmatGenerator::new(0.25, 0.25, 0.25, 8.0)
+            .unwrap()
+            .generate_graph(1, 10);
+        let skewed = RmatGenerator::new(0.7, 0.1, 0.1, 8.0)
+            .unwrap()
+            .generate_graph(1, 10);
+        let max_u = *uniform.out_degrees().iter().max().unwrap();
+        let max_s = *skewed.out_degrees().iter().max().unwrap();
+        assert!(max_s > 2 * max_u, "skewed {max_s} vs uniform {max_u}");
+    }
+
+    #[test]
+    fn ba_produces_connected_scale_free_graph() {
+        let g = BaGenerator::new(3).unwrap().generate_graph(1, 500);
+        assert_eq!(g.num_vertices(), 500);
+        // (m+1 choose 2) clique edges + m per later vertex, doubled.
+        let expected = 2 * (6 + 3 * (500 - 4));
+        assert_eq!(g.num_edges(), expected);
+        let degrees = g.out_degrees();
+        // Every vertex has degree >= m.
+        assert!(degrees.iter().all(|&d| d >= 3));
+        // Heavy tail: some vertex far above the mean.
+        let mean = degrees.iter().sum::<u32>() as f64 / degrees.len() as f64;
+        let max = *degrees.iter().max().unwrap() as f64;
+        assert!(max > 4.0 * mean, "max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn ba_rejects_zero_m() {
+        assert!(BaGenerator::new(0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_has_no_heavy_tail() {
+        let g = ErdosRenyiGenerator { edges_per_vertex: 8.0 }.generate_graph(1, 1024);
+        let degrees = g.out_degrees();
+        let max = *degrees.iter().max().unwrap() as f64;
+        // Binomial(n, 8/n) max degree stays within a small factor of the mean.
+        assert!(max < 4.0 * 8.0, "max {max}");
+    }
+
+    #[test]
+    fn degree_distance_is_zero_for_same_graph() {
+        let g = karate_club_graph();
+        assert!(degree_distribution_distance(&g, &g) < 1e-9);
+    }
+
+    #[test]
+    fn fit_rmat_prefers_skew_for_karate_club() {
+        let raw = karate_club_graph();
+        let fitted = fit_rmat(&raw, 7).unwrap();
+        // The karate club is hub-dominated; the fit should not pick the
+        // uniform corner.
+        assert!(fitted.a > 0.25, "fitted a = {}", fitted.a);
+        // And the fitted model should match the raw hub concentration
+        // better than the uniform model, averaged over seeds.
+        let scale = (raw.num_vertices() as f64).log2().ceil() as u32;
+        let epv = raw.num_edges() as f64 / raw.num_vertices() as f64;
+        let uniform = RmatGenerator::new(0.25, 0.25, 0.25, epv).unwrap();
+        let target = hub_concentration(&raw);
+        let (mut d_fit, mut d_uni) = (0.0, 0.0);
+        for s in 0..5 {
+            d_fit += (hub_concentration(&fitted.generate_graph(s, scale)) - target).abs();
+            d_uni += (hub_concentration(&uniform.generate_graph(s, scale)) - target).abs();
+        }
+        assert!(d_fit < d_uni, "fit {d_fit} vs uniform {d_uni}");
+    }
+
+    #[test]
+    fn hub_concentration_basics() {
+        // A star graph concentrates all edges on the hub.
+        let mut star = EdgeListGraph::new(20);
+        for v in 1..20 {
+            star.add_edge(0, v);
+        }
+        assert!((hub_concentration(&star) - 1.0).abs() < 1e-12);
+        // A cycle spreads edges uniformly: top-10% holds ~10%.
+        let mut cycle = EdgeListGraph::new(20);
+        for v in 0..20u32 {
+            cycle.add_edge(v, (v + 1) % 20);
+        }
+        assert!((hub_concentration(&cycle) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rmat_rejects_tiny_graph() {
+        assert!(fit_rmat(&EdgeListGraph::new(1), 1).is_err());
+    }
+
+    #[test]
+    fn generators_implement_volume_specs() {
+        let d = RmatGenerator::standard(4.0)
+            .generate(1, &VolumeSpec::Items(512))
+            .unwrap();
+        match d {
+            Dataset::Graph(g) => assert_eq!(g.num_vertices(), 512),
+            _ => panic!("expected graph"),
+        }
+    }
+}

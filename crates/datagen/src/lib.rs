@@ -1,0 +1,148 @@
+//! Data generators preserving the 4V properties of big data (Figure 3).
+//!
+//! This crate implements the paper's data-generation methodology end to end:
+//!
+//! 1. **Select real data** — [`corpus`] embeds public stand-ins for the
+//!    confidential real data sets the paper says owners will not share: a
+//!    topical text corpus, Zachary's karate-club social graph, and a fixed
+//!    retail orders table.
+//! 2. **Fit a data model & sample** — [`text`] fits LDA (collapsed Gibbs)
+//!    and n-gram Markov models; [`table`] fits per-column distribution
+//!    models (and offers MUDD-style purely synthetic columns); [`graph`]
+//!    fits a power-law degree model and generates with R-MAT/Kronecker or
+//!    Barabási–Albert; [`stream`] models arrivals with Poisson or bursty
+//!    MMPP processes. [`volume`] provides the paper's "sampling tools" for
+//!    scaling data *down*.
+//! 3. **Control volume and velocity** — every generator is parameterised by
+//!    a [`volume::VolumeSpec`]; [`velocity`] provides both velocity-control
+//!    strategies of Section 5.1 (parallel deployment of generators, and
+//!    algorithmic adjustment of the generator itself) plus update-frequency
+//!    control.
+//! 4. **Format conversion** — conversion tools live in `bdb-exec`; the
+//!    generators here emit in-memory [`Dataset`]s.
+//!
+//! [`veracity`] implements the Section 5.1 veracity *metrics*: divergence
+//! of raw-vs-model and raw-vs-synthetic distributions per data type.
+
+pub mod corpus;
+pub mod graph;
+pub mod stream;
+pub mod table;
+pub mod text;
+pub mod velocity;
+pub mod veracity;
+pub mod volume;
+
+use bdb_common::graph::EdgeListGraph;
+use bdb_common::record::Table;
+use bdb_common::text::{Document, Vocabulary};
+use bdb_common::Result;
+
+/// A generated data set of one of the four source types the paper's
+/// *variety* axis requires (table, text, graph, stream).
+#[derive(Debug, Clone)]
+pub enum Dataset {
+    /// Unstructured text: documents over a shared vocabulary.
+    Text {
+        /// Generated documents (word-id sequences).
+        docs: Vec<Document>,
+        /// The dictionary mapping word ids to words.
+        vocab: Vocabulary,
+    },
+    /// Structured rows with a schema.
+    Table(Table),
+    /// A directed graph (social-network data).
+    Graph(EdgeListGraph),
+    /// Timestamped events (semi-structured stream data).
+    Stream(Vec<stream::Event>),
+}
+
+impl Dataset {
+    /// The data source kind, for variety accounting.
+    pub fn kind(&self) -> DataSourceKind {
+        match self {
+            Dataset::Text { .. } => DataSourceKind::Text,
+            Dataset::Table(_) => DataSourceKind::Table,
+            Dataset::Graph(_) => DataSourceKind::Graph,
+            Dataset::Stream(_) => DataSourceKind::Stream,
+        }
+    }
+
+    /// Approximate data volume in bytes.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Dataset::Text { docs, .. } => docs.iter().map(|d| d.len() * 4).sum(),
+            Dataset::Table(t) => t.byte_size(),
+            Dataset::Graph(g) => g.num_edges() * 8,
+            Dataset::Stream(evts) => evts.len() * std::mem::size_of::<stream::Event>(),
+        }
+    }
+
+    /// Number of logical items (documents, rows, edges, events).
+    pub fn item_count(&self) -> usize {
+        match self {
+            Dataset::Text { docs, .. } => docs.len(),
+            Dataset::Table(t) => t.len(),
+            Dataset::Graph(g) => g.num_edges(),
+            Dataset::Stream(evts) => evts.len(),
+        }
+    }
+}
+
+/// The four representative data sources named by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataSourceKind {
+    /// Structured data.
+    Table,
+    /// Unstructured data.
+    Text,
+    /// Unstructured data with explicit structure between entities.
+    Graph,
+    /// Semi-structured, timestamped data.
+    Stream,
+}
+
+impl std::fmt::Display for DataSourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DataSourceKind::Table => "table",
+            DataSourceKind::Text => "text",
+            DataSourceKind::Graph => "graph",
+            DataSourceKind::Stream => "stream",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A seeded, volume-controlled data generator (step 3 of Figure 3).
+///
+/// Implementations are immutable model objects: the same `(seed, volume)`
+/// pair always yields the same data, and distinct seeds yield independent
+/// data sets, which is what lets the velocity layer run many generators in
+/// parallel.
+pub trait DataGenerator: Send + Sync {
+    /// Human-readable generator name (for reports).
+    fn name(&self) -> &str;
+
+    /// The kind of data this generator produces.
+    fn kind(&self) -> DataSourceKind;
+
+    /// Generate a data set of roughly `volume` size using `seed`.
+    fn generate(&self, seed: u64, volume: &volume::VolumeSpec) -> Result<Dataset>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_common::value::{DataType, Field, Schema};
+
+    #[test]
+    fn dataset_kind_and_counts() {
+        let t = Table::new(Schema::new(vec![Field::new("x", DataType::Int)]));
+        let d = Dataset::Table(t);
+        assert_eq!(d.kind(), DataSourceKind::Table);
+        assert_eq!(d.item_count(), 0);
+        assert_eq!(d.byte_size(), 0);
+        assert_eq!(DataSourceKind::Stream.to_string(), "stream");
+    }
+}

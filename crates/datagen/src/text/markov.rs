@@ -1,0 +1,175 @@
+//! N-gram (Markov chain) text generation.
+//!
+//! A middle point on the veracity spectrum between uniform random words and
+//! the full LDA topic model: the bigram chain preserves local word
+//! co-occurrence statistics of the raw corpus (so "olive oil" stays
+//! together), at the cost of any document-level topical structure. The
+//! Table 1 ablation benches compare all three.
+
+use crate::text::{fit_length_model, sample_length};
+use crate::volume::VolumeSpec;
+use crate::{DataGenerator, DataSourceKind, Dataset};
+use bdb_common::prelude::*;
+use bdb_common::{BdbError, Result};
+
+/// A trained bigram chain over a learned dictionary.
+#[derive(Debug, Clone)]
+pub struct MarkovTextGenerator {
+    vocab: Vocabulary,
+    /// Per-word successor distributions as (successor id, cumulative count).
+    transitions: Vec<Vec<(u32, u32)>>,
+    /// Distribution of document-initial words.
+    initial: Vec<(u32, u32)>,
+    length_mu: f64,
+    length_sigma: f64,
+}
+
+impl MarkovTextGenerator {
+    /// Learn the dictionary and bigram counts from raw texts.
+    pub fn train(texts: &[&str]) -> Result<Self> {
+        let mut vocab = Vocabulary::new();
+        let docs: Vec<Document> = texts
+            .iter()
+            .map(|t| Document::from_text(t, &mut vocab))
+            .collect();
+        if vocab.is_empty() {
+            return Err(BdbError::DataGen("markov training corpus is empty".into()));
+        }
+        let v = vocab.len();
+        let mut counts: Vec<std::collections::BTreeMap<u32, u32>> = vec![Default::default(); v];
+        let mut initial_counts: std::collections::BTreeMap<u32, u32> = Default::default();
+        for doc in &docs {
+            if let Some(&first) = doc.words.first() {
+                *initial_counts.entry(first).or_insert(0) += 1;
+            }
+            for w in doc.words.windows(2) {
+                *counts[w[0] as usize].entry(w[1]).or_insert(0) += 1;
+            }
+        }
+        let to_cumulative = |m: &std::collections::BTreeMap<u32, u32>| -> Vec<(u32, u32)> {
+            let mut acc = 0;
+            m.iter()
+                .map(|(&w, &c)| {
+                    acc += c;
+                    (w, acc)
+                })
+                .collect()
+        };
+        let transitions = counts.iter().map(to_cumulative).collect();
+        let initial = to_cumulative(&initial_counts);
+        let (length_mu, length_sigma) = fit_length_model(&docs);
+        Ok(Self { vocab, transitions, initial, length_mu, length_sigma })
+    }
+
+    /// The learned dictionary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    fn draw(table: &[(u32, u32)], rng: &mut dyn Rng) -> Option<u32> {
+        let total = table.last()?.1;
+        let u = rng.next_bounded(total as u64) as u32;
+        let idx = table.partition_point(|&(_, c)| c <= u);
+        Some(table[idx.min(table.len() - 1)].0)
+    }
+
+    /// Generate one document by walking the chain.
+    pub fn generate_doc(&self, rng: &mut dyn Rng) -> Document {
+        let len = sample_length(self.length_mu, self.length_sigma, rng);
+        let mut words = Vec::with_capacity(len);
+        let mut current = match Self::draw(&self.initial, rng) {
+            Some(w) => w,
+            None => return Document::default(),
+        };
+        words.push(current);
+        while words.len() < len {
+            match Self::draw(&self.transitions[current as usize], rng) {
+                Some(next) => {
+                    words.push(next);
+                    current = next;
+                }
+                // Dead end (corpus-final word): restart from an initial word.
+                None => match Self::draw(&self.initial, rng) {
+                    Some(w) => {
+                        words.push(w);
+                        current = w;
+                    }
+                    None => break,
+                },
+            }
+        }
+        Document { words }
+    }
+}
+
+impl DataGenerator for MarkovTextGenerator {
+    fn name(&self) -> &str {
+        "text/markov-bigram"
+    }
+
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Text
+    }
+
+    fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
+        let avg_len = (self.length_mu + self.length_sigma * self.length_sigma / 2.0).exp();
+        let n_docs = volume.resolve_items(avg_len * 4.0, 1000)?;
+        let tree = SeedTree::new(seed);
+        let docs = (0..n_docs)
+            .map(|i| {
+                let mut rng = tree.cell(i);
+                self.generate_doc(&mut rng)
+            })
+            .collect();
+        Ok(Dataset::Text { docs, vocab: self.vocab.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::RAW_TEXT_CORPUS;
+
+    #[test]
+    fn train_rejects_empty() {
+        assert!(MarkovTextGenerator::train(&[]).is_err());
+        assert!(MarkovTextGenerator::train(&["..."]).is_err());
+    }
+
+    #[test]
+    fn generated_bigrams_exist_in_corpus_chain() {
+        let g = MarkovTextGenerator::train(&RAW_TEXT_CORPUS).unwrap();
+        let mut rng = Xoshiro256::new(11);
+        let doc = g.generate_doc(&mut rng);
+        assert!(!doc.is_empty());
+        // Every generated transition must be a trained transition or a
+        // restart at a document-initial word.
+        for w in doc.words.windows(2) {
+            let trans_ok = g.transitions[w[0] as usize].iter().any(|&(n, _)| n == w[1]);
+            let restart_ok = g.initial.iter().any(|&(n, _)| n == w[1]);
+            assert!(trans_ok || restart_ok, "impossible bigram {:?}", w);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let g = MarkovTextGenerator::train(&RAW_TEXT_CORPUS).unwrap();
+        let a = g.generate(3, &VolumeSpec::Items(5)).unwrap();
+        let b = g.generate(3, &VolumeSpec::Items(5)).unwrap();
+        match (a, b) {
+            (Dataset::Text { docs: da, .. }, Dataset::Text { docs: db, .. }) => {
+                assert_eq!(da, db)
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn single_word_corpus_generates() {
+        let g = MarkovTextGenerator::train(&["hello"]).unwrap();
+        let mut rng = Xoshiro256::new(1);
+        let doc = g.generate_doc(&mut rng);
+        // Only one word exists; the chain restarts repeatedly.
+        assert!(doc.words.iter().all(|&w| w == 0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Text data generation (the Figure 3 text path).
+//!
+//! Three generators with increasing veracity, mirroring the paper's Table 1
+//! spectrum:
+//!
+//! * [`NaiveTextGenerator`] — i.i.d. words drawn uniformly from the
+//!   dictionary; the "un-considered" veracity style of HiBench/GridMix's
+//!   random text writers. Exists as the ablation baseline.
+//! * [`markov::MarkovTextGenerator`] — an n-gram model that preserves local
+//!   word co-occurrence.
+//! * [`lda::LdaModel`] — the paper's worked example: learn a dictionary
+//!   from a real corpus, train LDA topic/word distributions on it, then
+//!   generate synthetic documents from the trained model.
+
+pub mod lda;
+pub mod markov;
+
+use crate::volume::VolumeSpec;
+use crate::{DataGenerator, DataSourceKind, Dataset};
+use bdb_common::prelude::*;
+use bdb_common::Result;
+
+/// Fit a log-normal document-length model from a corpus.
+///
+/// Returns `(mu, sigma)` of the underlying normal of `ln(len)`; generators
+/// draw synthetic document lengths from it so the length distribution is a
+/// preserved characteristic too.
+pub fn fit_length_model(docs: &[Document]) -> (f64, f64) {
+    let lens: Vec<f64> = docs
+        .iter()
+        .filter(|d| !d.is_empty())
+        .map(|d| (d.len() as f64).ln())
+        .collect();
+    if lens.is_empty() {
+        return (3.0, 0.5);
+    }
+    let s = Summary::of(&lens);
+    (s.mean(), s.std_dev().max(0.01))
+}
+
+/// Draw a document length from a fitted log-normal model, clamped to
+/// `[1, 10_000]`.
+pub fn sample_length(mu: f64, sigma: f64, rng: &mut dyn Rng) -> usize {
+    let len = LogNormal::new(mu, sigma).sample(rng);
+    (len.round() as usize).clamp(1, 10_000)
+}
+
+/// Veracity-unaware baseline: uniform i.i.d. words over the vocabulary.
+#[derive(Debug, Clone)]
+pub struct NaiveTextGenerator {
+    vocab: Vocabulary,
+    length_mu: f64,
+    length_sigma: f64,
+}
+
+impl NaiveTextGenerator {
+    /// Build from a corpus: only the dictionary and length model are
+    /// learned; word frequencies are deliberately ignored.
+    pub fn from_corpus(texts: &[&str]) -> Self {
+        let mut vocab = Vocabulary::new();
+        let docs: Vec<Document> = texts
+            .iter()
+            .map(|t| Document::from_text(t, &mut vocab))
+            .collect();
+        let (mu, sigma) = fit_length_model(&docs);
+        Self { vocab, length_mu: mu, length_sigma: sigma }
+    }
+
+    /// The dictionary this generator draws from.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+}
+
+impl DataGenerator for NaiveTextGenerator {
+    fn name(&self) -> &str {
+        "text/naive-uniform"
+    }
+
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Text
+    }
+
+    fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
+        let avg_len = (self.length_mu + self.length_sigma * self.length_sigma / 2.0).exp();
+        let n_docs = volume.resolve_items(avg_len * 4.0, 1000)?;
+        let tree = SeedTree::new(seed);
+        let v = self.vocab.len() as u64;
+        let docs = (0..n_docs)
+            .map(|i| {
+                let mut rng = tree.cell(i);
+                let len = sample_length(self.length_mu, self.length_sigma, &mut rng);
+                let words = (0..len).map(|_| rng.next_bounded(v) as u32).collect();
+                Document { words }
+            })
+            .collect();
+        Ok(Dataset::Text { docs, vocab: self.vocab.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::RAW_TEXT_CORPUS;
+
+    #[test]
+    fn length_model_reflects_corpus() {
+        let mut v = Vocabulary::new();
+        let docs: Vec<Document> = RAW_TEXT_CORPUS
+            .iter()
+            .map(|t| Document::from_text(t, &mut v))
+            .collect();
+        let (mu, sigma) = fit_length_model(&docs);
+        // Corpus documents are ~25-40 words: ln in [3.2, 3.7].
+        assert!((3.0..4.0).contains(&mu), "mu {mu}");
+        assert!(sigma < 0.5, "sigma {sigma}");
+    }
+
+    #[test]
+    fn length_model_empty_corpus_defaults() {
+        assert_eq!(fit_length_model(&[]), (3.0, 0.5));
+    }
+
+    #[test]
+    fn sample_length_clamps() {
+        let mut rng = Xoshiro256::new(1);
+        for _ in 0..100 {
+            let l = sample_length(3.0, 0.5, &mut rng);
+            assert!((1..=10_000).contains(&l));
+        }
+    }
+
+    #[test]
+    fn naive_generator_is_deterministic_and_sized() {
+        let g = NaiveTextGenerator::from_corpus(&RAW_TEXT_CORPUS);
+        let a = g.generate(5, &VolumeSpec::Items(20)).unwrap();
+        let b = g.generate(5, &VolumeSpec::Items(20)).unwrap();
+        match (&a, &b) {
+            (Dataset::Text { docs: da, .. }, Dataset::Text { docs: db, .. }) => {
+                assert_eq!(da, db);
+                assert_eq!(da.len(), 20);
+                assert!(da.iter().all(|d| !d.is_empty()));
+            }
+            _ => panic!("expected text datasets"),
+        }
+        let c = g.generate(6, &VolumeSpec::Items(20)).unwrap();
+        match (&a, &c) {
+            (Dataset::Text { docs: da, .. }, Dataset::Text { docs: dc, .. }) => {
+                assert_ne!(da, dc);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn naive_generator_byte_volume() {
+        let g = NaiveTextGenerator::from_corpus(&RAW_TEXT_CORPUS);
+        let d = g.generate(1, &VolumeSpec::Bytes(40_000)).unwrap();
+        // ~4 bytes per word, ~33 words per doc: ~300 docs.
+        let n = d.item_count();
+        assert!((150..=900).contains(&n), "docs {n}");
+    }
+}

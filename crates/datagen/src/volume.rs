@@ -1,0 +1,214 @@
+//! Volume control and scale-down sampling (the *volume* axis).
+//!
+//! The paper notes volume means different things per workload type: bytes
+//! of text for sort/WordCount, vertex counts for social graphs.
+//! [`VolumeSpec`] captures both, plus a relative scale factor (TPC-style
+//! `SF`). The sampling tools implement the paper's "scaling down of data
+//! set sizes": reservoir sampling for unbiased subsets and stratified
+//! sampling that preserves group proportions (a veracity-friendly scaler).
+
+use bdb_common::prelude::*;
+use bdb_common::record::{Record, Table};
+use bdb_common::{BdbError, Result};
+
+/// How much data to generate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VolumeSpec {
+    /// A number of logical items: rows, documents, events or — for graphs —
+    /// vertices (the paper's "2^20 vertices" convention).
+    Items(u64),
+    /// A target size in bytes (the "1 TB text data" convention).
+    Bytes(u64),
+    /// A multiple of a generator-defined base size, like TPC scale factors.
+    ScaleFactor(f64),
+}
+
+impl VolumeSpec {
+    /// Resolve this spec to an item count, given the generator's average
+    /// item size in bytes and its base item count for `ScaleFactor(1.0)`.
+    ///
+    /// # Errors
+    /// Fails on a non-positive scale factor.
+    pub fn resolve_items(&self, avg_item_bytes: f64, base_items: u64) -> Result<u64> {
+        match *self {
+            VolumeSpec::Items(n) => Ok(n),
+            VolumeSpec::Bytes(b) => {
+                if avg_item_bytes <= 0.0 {
+                    return Err(BdbError::InvalidConfig(
+                        "generator reported non-positive item size".into(),
+                    ));
+                }
+                Ok((b as f64 / avg_item_bytes).ceil() as u64)
+            }
+            VolumeSpec::ScaleFactor(sf) => {
+                if sf <= 0.0 || !sf.is_finite() {
+                    return Err(BdbError::InvalidConfig(format!(
+                        "scale factor must be positive, got {sf}"
+                    )));
+                }
+                Ok((base_items as f64 * sf).ceil() as u64)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for VolumeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VolumeSpec::Items(n) => write!(f, "{n} items"),
+            VolumeSpec::Bytes(b) => write!(f, "{b} bytes"),
+            VolumeSpec::ScaleFactor(sf) => write!(f, "SF={sf}"),
+        }
+    }
+}
+
+/// Uniform reservoir sample of `k` items from an iterator (Algorithm R).
+///
+/// One pass, O(k) memory: suitable for scaling down data sets that do not
+/// fit in memory at full size.
+pub fn reservoir_sample<T, I>(items: I, k: usize, rng: &mut dyn Rng) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (i, item) in items.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.next_bounded(i as u64 + 1) as usize;
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Stratified sample of a table: keeps `fraction` of the rows of each
+/// stratum, where the stratum is the value of `strata_column`.
+///
+/// Preserves group proportions within rounding, which keeps categorical
+/// column distributions — a veracity characteristic — intact while scaling
+/// volume down.
+pub fn stratified_sample(
+    table: &Table,
+    strata_column: &str,
+    fraction: f64,
+    rng: &mut dyn Rng,
+) -> Result<Table> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(BdbError::InvalidConfig(format!(
+            "fraction must be in [0,1], got {fraction}"
+        )));
+    }
+    let idx = table
+        .schema()
+        .index_of(strata_column)
+        .ok_or_else(|| BdbError::NotFound(format!("column {strata_column}")))?;
+    // Group row indices per stratum value (string key; Display is total).
+    let mut strata: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+    for (i, row) in table.rows().iter().enumerate() {
+        strata.entry(row[idx].to_string()).or_default().push(i);
+    }
+    let mut keep: Vec<usize> = Vec::new();
+    for rows in strata.values() {
+        let k = ((rows.len() as f64) * fraction).round() as usize;
+        let sampled = reservoir_sample(rows.iter().copied(), k, rng);
+        keep.extend(sampled);
+    }
+    keep.sort_unstable();
+    let rows: Vec<Record> = keep.iter().map(|&i| table.rows()[i].clone()).collect();
+    Table::from_rows(table.schema().clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_common::value::{DataType, Field, Schema, Value};
+
+    #[test]
+    fn resolve_items_direct() {
+        assert_eq!(VolumeSpec::Items(7).resolve_items(10.0, 100).unwrap(), 7);
+    }
+
+    #[test]
+    fn resolve_bytes_rounds_up() {
+        assert_eq!(VolumeSpec::Bytes(95).resolve_items(10.0, 100).unwrap(), 10);
+        assert_eq!(VolumeSpec::Bytes(100).resolve_items(10.0, 100).unwrap(), 10);
+    }
+
+    #[test]
+    fn resolve_scale_factor() {
+        assert_eq!(
+            VolumeSpec::ScaleFactor(2.5).resolve_items(1.0, 100).unwrap(),
+            250
+        );
+        assert!(VolumeSpec::ScaleFactor(0.0).resolve_items(1.0, 100).is_err());
+        assert!(VolumeSpec::Bytes(10).resolve_items(0.0, 1).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VolumeSpec::Items(5).to_string(), "5 items");
+        assert_eq!(VolumeSpec::Bytes(5).to_string(), "5 bytes");
+        assert_eq!(VolumeSpec::ScaleFactor(2.0).to_string(), "SF=2");
+    }
+
+    #[test]
+    fn reservoir_exact_when_fewer_items() {
+        let mut rng = Xoshiro256::new(1);
+        let s = reservoir_sample(0..3u32, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2]);
+        assert!(reservoir_sample(0..3u32, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut hits = [0u32; 10];
+        for seed in 0..4000 {
+            let mut rng = Xoshiro256::new(seed);
+            for x in reservoir_sample(0..10u32, 3, &mut rng) {
+                hits[x as usize] += 1;
+            }
+        }
+        // Each of 10 items should be kept ~30% of the time: 1200 ± 15%.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((1000..=1400).contains(&h), "item {i}: {h}");
+        }
+    }
+
+    fn grouped_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("grp", DataType::Text),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..80 {
+            let g = if i % 4 == 0 { "a" } else { "b" }; // 25% a, 75% b
+            t.push(vec![Value::Int(i), Value::from(g)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn stratified_sample_preserves_proportions() {
+        let t = grouped_table();
+        let mut rng = Xoshiro256::new(3);
+        let s = stratified_sample(&t, "grp", 0.5, &mut rng).unwrap();
+        assert_eq!(s.len(), 40);
+        let grp = s.column("grp").unwrap();
+        let a = grp.iter().filter(|v| v.as_str() == Some("a")).count();
+        assert_eq!(a, 10); // exactly half of the 20 "a" rows
+    }
+
+    #[test]
+    fn stratified_sample_validates_inputs() {
+        let t = grouped_table();
+        let mut rng = Xoshiro256::new(3);
+        assert!(stratified_sample(&t, "missing", 0.5, &mut rng).is_err());
+        assert!(stratified_sample(&t, "grp", 1.5, &mut rng).is_err());
+    }
+}

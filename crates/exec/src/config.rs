@@ -1,0 +1,134 @@
+//! System configuration tools.
+//!
+//! A [`SystemConfig`] carries everything needed to run a prescribed test
+//! on one engine: concurrency, memory budget, and free-form engine
+//! parameters. A [`SoftwareStack`] names the stack a test runs on —
+//! Table 2's "software stacks" column — so reports can attribute results.
+
+use bdb_common::{BdbError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Runtime configuration for one engine under test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Memory budget in bytes the engine should respect.
+    pub memory_budget_bytes: usize,
+    /// Engine-specific free-form parameters.
+    pub parameters: BTreeMap<String, String>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            memory_budget_bytes: 256 << 20,
+            parameters: BTreeMap::new(),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Set the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Set one engine parameter.
+    pub fn with_parameter(mut self, key: &str, value: &str) -> Self {
+        self.parameters.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Effective thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+
+    /// Read a typed parameter.
+    ///
+    /// # Errors
+    /// Fails when the parameter is missing or unparsable.
+    pub fn parameter<T: std::str::FromStr>(&self, key: &str) -> Result<T> {
+        let raw = self
+            .parameters
+            .get(key)
+            .ok_or_else(|| BdbError::NotFound(format!("parameter {key}")))?;
+        raw.parse()
+            .map_err(|_| BdbError::InvalidConfig(format!("parameter {key}={raw} unparsable")))
+    }
+}
+
+/// A named software stack (Table 2's stack column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SoftwareStack {
+    /// Stack name, e.g. "Hadoop-analog".
+    pub name: String,
+    /// The systems composing the stack, e.g. ["mapreduce"].
+    pub systems: Vec<String>,
+}
+
+impl SoftwareStack {
+    /// A stack of one system.
+    pub fn single(name: &str, system: &str) -> Self {
+        Self { name: name.to_string(), systems: vec![system.to_string()] }
+    }
+
+    /// Does the stack include a system?
+    pub fn includes(&self, system: &str) -> bool {
+        self.systems.iter().any(|s| s == system)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = SystemConfig::default()
+            .with_threads(8)
+            .with_memory_budget(1 << 20)
+            .with_parameter("reduce_tasks", "16");
+        assert_eq!(c.effective_threads(), 8);
+        assert_eq!(c.memory_budget_bytes, 1 << 20);
+        assert_eq!(c.parameter::<usize>("reduce_tasks").unwrap(), 16);
+    }
+
+    #[test]
+    fn zero_threads_falls_back_to_parallelism() {
+        let c = SystemConfig::default();
+        assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn typed_parameter_errors() {
+        let c = SystemConfig::default().with_parameter("x", "abc");
+        assert!(c.parameter::<usize>("x").is_err());
+        assert!(c.parameter::<usize>("missing").is_err());
+    }
+
+    #[test]
+    fn stack_membership() {
+        let s = SoftwareStack {
+            name: "hybrid".into(),
+            systems: vec!["sql".into(), "mapreduce".into()],
+        };
+        assert!(s.includes("sql"));
+        assert!(!s.includes("kv"));
+        assert!(SoftwareStack::single("h", "mapreduce").includes("mapreduce"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Data format conversion tools.
+//!
+//! "Big data benchmarks need to provide format conversion, which can
+//! transfer a data set into an appropriate format capable of being used as
+//! the input of a test running on a specific system." Tables convert to
+//! and from CSV/TSV, JSON-lines and a length-prefixed binary format; text
+//! corpora convert to plain-text lines. Every conversion round-trips,
+//! which the tests (and a proptest in the integration suite) verify.
+
+use bdb_common::record::{Record, Table};
+use bdb_common::text::{Document, Vocabulary};
+use bdb_common::value::{DataType, Schema, Value};
+use bdb_common::{BdbError, Result};
+
+/// The formats the conversion tools understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataFormat {
+    /// Comma-separated values with a header row.
+    Csv,
+    /// Tab-separated values with a header row.
+    Tsv,
+    /// One JSON object per line.
+    JsonLines,
+    /// Length-prefixed binary.
+    Binary,
+}
+
+fn sep(format: DataFormat) -> Result<char> {
+    match format {
+        DataFormat::Csv => Ok(','),
+        DataFormat::Tsv => Ok('\t'),
+        _ => Err(BdbError::Format("separator only defined for CSV/TSV".into())),
+    }
+}
+
+fn escape(field: &str, sep: char) -> String {
+    if field.contains(sep) || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Float(f) => format!("{f:?}"), // keeps .0 so types round-trip
+        other => other.to_string(),
+    }
+}
+
+/// Serialise a table to delimited text (CSV or TSV) with a header.
+pub fn table_to_delimited(table: &Table, format: DataFormat) -> Result<String> {
+    let s = sep(format)?;
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&format!("{}:{}", f.name, f.data_type), s))
+        .collect();
+    out.push_str(&header.join(&s.to_string()));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row.iter().map(|v| escape(&render_value(v), s)).collect();
+        out.push_str(&cells.join(&s.to_string()));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Split one delimited line honouring quotes.
+fn split_line(line: &str, sep: char) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            quoted = true;
+        } else if c == sep {
+            fields.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+fn parse_value(text: &str, dt: DataType) -> Result<Value> {
+    if text.is_empty() {
+        return Ok(Value::Null);
+    }
+    let v = match dt {
+        DataType::Int => Value::Int(
+            text.parse()
+                .map_err(|_| BdbError::Format(format!("bad int {text}")))?,
+        ),
+        DataType::Float => Value::Float(
+            text.parse()
+                .map_err(|_| BdbError::Format(format!("bad float {text}")))?,
+        ),
+        DataType::Bool => Value::Bool(
+            text.parse()
+                .map_err(|_| BdbError::Format(format!("bad bool {text}")))?,
+        ),
+        DataType::Timestamp => Value::Timestamp(
+            text.strip_prefix('@')
+                .unwrap_or(text)
+                .parse()
+                .map_err(|_| BdbError::Format(format!("bad timestamp {text}")))?,
+        ),
+        DataType::Text => Value::Text(text.to_string()),
+    };
+    Ok(v)
+}
+
+fn parse_data_type(text: &str) -> Result<DataType> {
+    match text {
+        "INT" => Ok(DataType::Int),
+        "FLOAT" => Ok(DataType::Float),
+        "TEXT" => Ok(DataType::Text),
+        "BOOL" => Ok(DataType::Bool),
+        "TIMESTAMP" => Ok(DataType::Timestamp),
+        other => Err(BdbError::Format(format!("unknown type {other}"))),
+    }
+}
+
+/// Parse a delimited table produced by [`table_to_delimited`].
+pub fn delimited_to_table(text: &str, format: DataFormat) -> Result<Table> {
+    let s = sep(format)?;
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| BdbError::Format("missing header".into()))?;
+    let fields = split_line(header, s)
+        .into_iter()
+        .map(|h| {
+            let (name, ty) = h
+                .rsplit_once(':')
+                .ok_or_else(|| BdbError::Format(format!("bad header field {h}")))?;
+            Ok(bdb_common::value::Field::nullable(name, parse_data_type(ty)?))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let schema = Schema::new(fields);
+    let mut table = Table::new(schema.clone());
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let cells = split_line(line, s);
+        if cells.len() != schema.len() {
+            return Err(BdbError::Format(format!(
+                "row has {} cells, schema has {} columns",
+                cells.len(),
+                schema.len()
+            )));
+        }
+        let row: Record = cells
+            .iter()
+            .zip(schema.fields())
+            .map(|(c, f)| parse_value(c, f.data_type))
+            .collect::<Result<_>>()?;
+        table.push(row)?;
+    }
+    Ok(table)
+}
+
+/// Serialise a table to JSON-lines (schema line first, then one array per
+/// row).
+pub fn table_to_jsonl(table: &Table) -> Result<String> {
+    let mut out = serde_json::to_string(table.schema())
+        .map_err(|e| BdbError::Format(e.to_string()))?;
+    out.push('\n');
+    for row in table.rows() {
+        out.push_str(&serde_json::to_string(row).map_err(|e| BdbError::Format(e.to_string()))?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parse JSON-lines produced by [`table_to_jsonl`].
+pub fn jsonl_to_table(text: &str) -> Result<Table> {
+    let mut lines = text.lines().filter(|l| !l.is_empty());
+    let schema: Schema = serde_json::from_str(
+        lines
+            .next()
+            .ok_or_else(|| BdbError::Format("missing schema line".into()))?,
+    )
+    .map_err(|e| BdbError::Format(e.to_string()))?;
+    let mut table = Table::new(schema);
+    for line in lines {
+        let row: Record =
+            serde_json::from_str(line).map_err(|e| BdbError::Format(e.to_string()))?;
+        table.push(row)?;
+    }
+    Ok(table)
+}
+
+/// Serialise a table to the length-prefixed binary format: the JSON-lines
+/// bytes wrapped with a magic header and u32 length (a stand-in for a
+/// columnar file format that still exercises a binary code path).
+pub fn table_to_binary(table: &Table) -> Result<Vec<u8>> {
+    let payload = table_to_jsonl(table)?.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(b"BDB1");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Parse the binary format produced by [`table_to_binary`].
+pub fn binary_to_table(bytes: &[u8]) -> Result<Table> {
+    if bytes.len() < 8 || &bytes[..4] != b"BDB1" {
+        return Err(BdbError::Format("bad binary magic".into()));
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if bytes.len() < 8 + len {
+        return Err(BdbError::Format("truncated binary table".into()));
+    }
+    let payload = std::str::from_utf8(&bytes[8..8 + len])
+        .map_err(|e| BdbError::Format(e.to_string()))?;
+    jsonl_to_table(payload)
+}
+
+/// Render a text corpus as plain-text lines (one document per line).
+pub fn corpus_to_plain_text(docs: &[Document], vocab: &Vocabulary) -> String {
+    let mut out = String::new();
+    for d in docs {
+        out.push_str(&d.to_text(vocab));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse plain-text lines back into documents over a shared vocabulary.
+pub fn plain_text_to_corpus(text: &str) -> (Vec<Document>, Vocabulary) {
+    let mut vocab = Vocabulary::new();
+    let docs = text
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| Document::from_text(l, &mut vocab))
+        .collect();
+    (docs, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_common::value::Field;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::nullable("name", DataType::Text),
+            Field::new("price", DataType::Float),
+            Field::new("ok", DataType::Bool),
+            Field::new("at", DataType::Timestamp),
+        ]);
+        let mut t = Table::new(schema);
+        t.push(vec![
+            Value::Int(1),
+            Value::Text("plain".into()),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Timestamp(99),
+        ])
+        .unwrap();
+        t.push(vec![
+            Value::Int(2),
+            Value::Null,
+            Value::Float(-0.25),
+            Value::Bool(false),
+            Value::Timestamp(100),
+        ])
+        .unwrap();
+        t.push(vec![
+            Value::Int(3),
+            Value::Text("has,comma and \"quotes\"".into()),
+            Value::Float(3.0),
+            Value::Bool(true),
+            Value::Timestamp(101),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample();
+        let csv = table_to_delimited(&t, DataFormat::Csv).unwrap();
+        let back = delimited_to_table(&csv, DataFormat::Csv).unwrap();
+        assert_eq!(t.rows(), back.rows());
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let t = sample();
+        let tsv = table_to_delimited(&t, DataFormat::Tsv).unwrap();
+        let back = delimited_to_table(&tsv, DataFormat::Tsv).unwrap();
+        assert_eq!(t.rows(), back.rows());
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let t = sample();
+        let back = jsonl_to_table(&table_to_jsonl(&t).unwrap()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_round_trip_and_corruption() {
+        let t = sample();
+        let bytes = table_to_binary(&t).unwrap();
+        let back = binary_to_table(&bytes).unwrap();
+        assert_eq!(t, back);
+        assert!(binary_to_table(b"XXXX").is_err());
+        assert!(binary_to_table(&bytes[..6]).is_err());
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        assert!(binary_to_table(&truncated).is_err());
+    }
+
+    #[test]
+    fn csv_quoting_is_correct() {
+        let t = sample();
+        let csv = table_to_delimited(&t, DataFormat::Csv).unwrap();
+        assert!(csv.contains("\"has,comma and \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(delimited_to_table("", DataFormat::Csv).is_err());
+        assert!(delimited_to_table("a:INT\n1,2\n", DataFormat::Csv).is_err());
+        assert!(delimited_to_table("a:INT\nxyz\n", DataFormat::Csv).is_err());
+        assert!(delimited_to_table("a:WAT\n", DataFormat::Csv).is_err());
+        assert!(jsonl_to_table("").is_err());
+    }
+
+    #[test]
+    fn plain_text_corpus_round_trip() {
+        let (docs, vocab) = plain_text_to_corpus("big data systems\nbench mark\n");
+        assert_eq!(docs.len(), 2);
+        let text = corpus_to_plain_text(&docs, &vocab);
+        let (again, _) = plain_text_to_corpus(&text);
+        assert_eq!(docs.len(), again.len());
+        assert_eq!(docs[0].len(), again[0].len());
+    }
+
+    #[test]
+    fn separator_is_undefined_for_other_formats() {
+        assert!(table_to_delimited(&sample(), DataFormat::Binary).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! The Execution Layer (Figure 2, bottom).
+//!
+//! "The Execution Layer offers several functions to support the execution
+//! of benchmark tests over different software stacks. Specifically, the
+//! system configuration tools enable a generated test running in a
+//! specific software stack. The data format conversion tools transform a
+//! generated data set into a format capable of being used by this test.
+//! The result analyzer and reporter display evaluation results."
+//!
+//! * [`config`] — system configuration tools and software-stack
+//!   descriptors (threads, memory budget, engine parameters).
+//! * [`convert`] — format conversion: CSV/TSV, JSON-lines, plain text and
+//!   a length-prefixed binary format, all round-trippable.
+//! * [`analyzer`] — result analysis: speedups, winners, crossover points.
+//! * [`reporter`] — plain-text and Markdown table rendering.
+
+pub mod analyzer;
+pub mod config;
+pub mod convert;
+pub mod reporter;
+
+pub use analyzer::{compare, find_crossover, Comparison};
+pub use config::{SoftwareStack, SystemConfig};
+pub use convert::DataFormat;
+pub use reporter::TableReporter;

@@ -1,0 +1,168 @@
+//! Result reporting: aligned text and Markdown tables.
+//!
+//! The reporter renders the evaluation tables the harnesses regenerate
+//! (Table 1, Table 2, and the per-figure series) as plain text for the
+//! terminal and Markdown for EXPERIMENTS.md.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TableReporter {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableReporter {
+    /// A reporter with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; short rows are padded with empty cells.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn add_row_strs(&mut self, cells: &[&str]) {
+        self.add_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len().saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt_num(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e6 {
+        format!("{:.2e}", x)
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableReporter {
+        let mut t = TableReporter::new("Demo", &["name", "value"]);
+        t.add_row_strs(&["alpha", "1"]);
+        t.add_row(&["beta-long-name".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn text_render_aligns_columns() {
+        let text = sample().to_text();
+        assert!(text.contains("== Demo =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // Header and both rows present.
+        assert!(lines[1].starts_with("name"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta-long-name"));
+        // "value" column starts at the same offset in header and rows.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(&lines[3][col..col + 1], "1");
+    }
+
+    #[test]
+    fn markdown_render_has_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| alpha | 1 |"));
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = TableReporter::new("", &["a", "b"]);
+        t.add_row(&["only".into()]);
+        t.add_row(&["x".into(), "y".into(), "extra".into()]);
+        assert_eq!(t.len(), 2);
+        let text = t.to_text();
+        assert!(!text.contains("extra"));
+    }
+
+    #[test]
+    fn number_formatting_tiers() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(0.1234), "0.1234");
+        assert_eq!(fmt_num(3.17159), "3.17");
+        assert_eq!(fmt_num(250.4), "250");
+        assert_eq!(fmt_num(2_500_000.0), "2.50e6");
+    }
+}

@@ -1,0 +1,108 @@
+//! A blocked Bloom filter for run-level negative lookups.
+//!
+//! Every immutable run carries a Bloom filter so point reads for keys a
+//! run does not contain skip the binary search entirely — the standard
+//! LSM read-path optimisation (the `abl_bloom` bench measures the win on
+//! read-heavy YCSB-style workloads with cold keys).
+
+/// A fixed-size Bloom filter with `k` derived hash functions.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// A filter sized for `n` keys at roughly `bits_per_key` bits each.
+    ///
+    /// `bits_per_key = 10` yields ~1% false positives with 7 hashes.
+    pub fn with_capacity(n: usize, bits_per_key: usize) -> Self {
+        let num_bits = ((n.max(1) * bits_per_key.max(1)) as u64).next_multiple_of(64);
+        // Optimal k = ln2 * bits/key, clamped to a sane range.
+        let num_hashes = ((bits_per_key as f64 * 0.69) as u32).clamp(1, 12);
+        Self { bits: vec![0; (num_bits / 64) as usize], num_bits, num_hashes }
+    }
+
+    /// Double hashing: two independent 64-bit hashes generate k probes.
+    fn hashes(key: &[u8]) -> (u64, u64) {
+        // FNV-1a with two different offset bases.
+        let mut h1: u64 = 0xCBF29CE484222325;
+        let mut h2: u64 = 0x9E3779B97F4A7C15;
+        for &b in key {
+            h1 = (h1 ^ b as u64).wrapping_mul(0x100000001B3);
+            h2 = (h2 ^ b as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+            h2 = h2.rotate_left(31);
+        }
+        (h1, h2 | 1) // odd stride so probes cover the table
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.num_hashes {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// May the key be present? `false` is definitive.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        for i in 0..self.num_hashes {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.num_bits;
+            if self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Filter size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_always_found() {
+        let mut f = BloomFilter::with_capacity(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..1000u32 {
+            assert!(f.may_contain(&i.to_le_bytes()), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::with_capacity(1000, 10);
+        for i in 0..1000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fps = (1000..21_000u32)
+            .filter(|i| f.may_contain(&i.to_le_bytes()))
+            .count();
+        let rate = fps as f64 / 20_000.0;
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::with_capacity(10, 10);
+        assert!(!f.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn sizing_follows_bits_per_key() {
+        let small = BloomFilter::with_capacity(100, 4);
+        let large = BloomFilter::with_capacity(100, 16);
+        assert!(large.byte_size() > small.byte_size());
+        assert!(large.num_hashes > small.num_hashes);
+    }
+}

@@ -1,0 +1,487 @@
+//! The log-structured merge store.
+//!
+//! Writes land in a sorted in-memory memtable; when it exceeds its budget
+//! it is frozen into an immutable sorted run. Reads check the memtable,
+//! then runs newest-to-oldest (newest version wins). When the run count
+//! exceeds a threshold, all runs merge into one and tombstones are
+//! reclaimed. This is the genuine read/write path a YCSB-style workload
+//! exercises — memtable hits are cheap, cold point reads pay one binary
+//! search per run, scans pay a k-way merge.
+
+use crate::bloom::BloomFilter;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Raw byte key.
+pub type Key = Vec<u8>;
+/// Raw byte value.
+pub type Val = Vec<u8>;
+
+/// Tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmConfig {
+    /// Flush the memtable when its payload exceeds this many bytes.
+    pub memtable_capacity_bytes: usize,
+    /// Compact when the number of runs exceeds this.
+    pub max_runs: usize,
+    /// Bloom-filter bits per key on each run; 0 disables filters (the
+    /// `abl_bloom` ablation toggles this).
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        Self { memtable_capacity_bytes: 1 << 20, max_runs: 6, bloom_bits_per_key: 10 }
+    }
+}
+
+/// Operation counters (architecture-metric inputs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// `put`/`delete` calls.
+    pub writes: u64,
+    /// `get` calls.
+    pub reads: u64,
+    /// Reads answered by the memtable.
+    pub memtable_hits: u64,
+    /// Binary searches into immutable runs.
+    pub run_probes: u64,
+    /// Run probes skipped because the Bloom filter ruled the key out.
+    pub bloom_skips: u64,
+    /// `scan` calls.
+    pub scans: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Compactions run.
+    pub compactions: u64,
+}
+
+impl KvStats {
+    /// Total counted operations.
+    pub fn total_ops(&self) -> u64 {
+        self.writes + self.reads + self.run_probes + self.scans
+    }
+}
+
+/// An immutable sorted run; `None` values are tombstones.
+#[derive(Debug, Clone)]
+struct Run {
+    entries: Vec<(Key, Option<Val>)>,
+    bloom: Option<BloomFilter>,
+}
+
+impl Run {
+    fn build(entries: Vec<(Key, Option<Val>)>, bits_per_key: usize) -> Self {
+        let bloom = (bits_per_key > 0).then(|| {
+            let mut f = BloomFilter::with_capacity(entries.len(), bits_per_key);
+            for (k, _) in &entries {
+                f.insert(k);
+            }
+            f
+        });
+        Self { entries, bloom }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<&Option<Val>> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    fn range<'a>(
+        &'a self,
+        start: &'a [u8],
+        end: Option<&'a [u8]>,
+    ) -> impl Iterator<Item = &'a (Key, Option<Val>)> + 'a {
+        let from = self
+            .entries
+            .partition_point(|(k, _)| k.as_slice() < start);
+        self.entries[from..]
+            .iter()
+            .take_while(move |(k, _)| end.is_none_or(|e| k.as_slice() < e))
+    }
+}
+
+/// The store: one memtable plus a stack of immutable runs.
+#[derive(Debug, Default)]
+pub struct LsmStore {
+    config: LsmConfig,
+    memtable: BTreeMap<Key, Option<Val>>,
+    memtable_bytes: usize,
+    /// Newest run last.
+    runs: Vec<Run>,
+    stats: KvStats,
+}
+
+impl LsmStore {
+    /// A store with explicit configuration.
+    pub fn with_config(config: LsmConfig) -> Self {
+        Self { config, ..Self::default() }
+    }
+
+    /// Insert or overwrite a key.
+    pub fn put(&mut self, key: Key, value: Val) {
+        self.stats.writes += 1;
+        self.write(key, Some(value));
+    }
+
+    /// Delete a key (writes a tombstone).
+    pub fn delete(&mut self, key: Key) {
+        self.stats.writes += 1;
+        self.write(key, None);
+    }
+
+    fn write(&mut self, key: Key, value: Option<Val>) {
+        let added = key.len() + value.as_ref().map_or(1, Val::len);
+        if let Some(old) = self.memtable.insert(key, value) {
+            self.memtable_bytes = self
+                .memtable_bytes
+                .saturating_sub(old.map_or(1, |v| v.len()));
+        }
+        self.memtable_bytes += added;
+        if self.memtable_bytes >= self.config.memtable_capacity_bytes {
+            self.flush();
+        }
+    }
+
+    /// Freeze the memtable into a run.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let entries: Vec<(Key, Option<Val>)> = std::mem::take(&mut self.memtable)
+            .into_iter()
+            .collect();
+        self.memtable_bytes = 0;
+        self.runs
+            .push(Run::build(entries, self.config.bloom_bits_per_key));
+        self.stats.flushes += 1;
+        if self.runs.len() > self.config.max_runs {
+            self.compact();
+        }
+    }
+
+    /// Merge all runs into one, dropping shadowed versions and tombstones.
+    pub fn compact(&mut self) {
+        if self.runs.len() <= 1 {
+            return;
+        }
+        self.stats.compactions += 1;
+        // Newest-wins merge: iterate runs oldest → newest into a map.
+        let mut merged: BTreeMap<Key, Option<Val>> = BTreeMap::new();
+        for run in self.runs.drain(..) {
+            for (k, v) in run.entries {
+                merged.insert(k, v);
+            }
+        }
+        let entries: Vec<(Key, Option<Val>)> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+        if !entries.is_empty() {
+            self.runs
+                .push(Run::build(entries, self.config.bloom_bits_per_key));
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, key: &[u8]) -> Option<Val> {
+        self.stats.reads += 1;
+        if let Some(v) = self.memtable.get(key) {
+            self.stats.memtable_hits += 1;
+            return v.clone();
+        }
+        for run in self.runs.iter().rev() {
+            if let Some(bloom) = &run.bloom {
+                if !bloom.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    continue;
+                }
+            }
+            self.stats.run_probes += 1;
+            if let Some(v) = run.get(key) {
+                return v.clone();
+            }
+        }
+        None
+    }
+
+    /// Ordered range scan from `start` (inclusive) to `end` (exclusive,
+    /// unbounded when `None`), returning up to `limit` live entries.
+    pub fn scan(&mut self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Key, Val)> {
+        self.stats.scans += 1;
+        // Merge all levels into one view, newer levels overwriting older.
+        let mut view: BTreeMap<Key, Option<Val>> = BTreeMap::new();
+        for run in &self.runs {
+            for (k, v) in run.range(start, end) {
+                view.insert(k.clone(), v.clone());
+            }
+        }
+        let mem_range = self.memtable.range((
+            Bound::Included(start.to_vec()),
+            end.map_or(Bound::Unbounded, |e| Bound::Excluded(e.to_vec())),
+        ));
+        for (k, v) in mem_range {
+            view.insert(k.clone(), v.clone());
+        }
+        view.into_iter()
+            .filter_map(|(k, v)| v.map(|val| (k, val)))
+            .take(limit)
+            .collect()
+    }
+
+    /// Number of live keys (scans everything; for tests and reports).
+    pub fn len(&mut self) -> usize {
+        self.scan(&[], None, usize::MAX).len()
+    }
+
+    /// True when no live keys exist.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Number of immutable runs (for observing flush/compaction activity).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+/// A thread-safe handle: the store behind an `Arc<RwLock>`, matching how
+/// multi-threaded OLTP drivers share a store.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLsm {
+    inner: Arc<RwLock<LsmStore>>,
+}
+
+impl SharedLsm {
+    /// A shared store with explicit configuration.
+    pub fn with_config(config: LsmConfig) -> Self {
+        Self { inner: Arc::new(RwLock::new(LsmStore::with_config(config))) }
+    }
+
+    /// Insert or overwrite.
+    pub fn put(&self, key: Key, value: Val) {
+        self.inner.write().put(key, value);
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<Val> {
+        self.inner.write().get(key)
+    }
+
+    /// Delete.
+    pub fn delete(&self, key: Key) {
+        self.inner.write().delete(key);
+    }
+
+    /// Range scan.
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Key, Val)> {
+        self.inner.write().scan(start, end, limit)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> KvStats {
+        self.inner.read().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LsmStore {
+        // Small budgets so flush/compaction paths run in tests.
+        LsmStore::with_config(LsmConfig { memtable_capacity_bytes: 256, max_runs: 2, bloom_bits_per_key: 10 })
+    }
+
+    fn k(i: u32) -> Key {
+        format!("key{i:06}").into_bytes()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = LsmStore::default();
+        s.put(k(1), b"one".to_vec());
+        s.put(k(2), b"two".to_vec());
+        assert_eq!(s.get(&k(1)), Some(b"one".to_vec()));
+        assert_eq!(s.get(&k(3)), None);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut s = tiny();
+        for ver in 0..20 {
+            s.put(k(7), format!("v{ver}").into_bytes());
+        }
+        assert_eq!(s.get(&k(7)), Some(b"v19".to_vec()));
+    }
+
+    #[test]
+    fn delete_shadows_older_runs() {
+        let mut s = tiny();
+        s.put(k(1), b"x".to_vec());
+        s.flush();
+        s.delete(k(1));
+        s.flush();
+        assert_eq!(s.get(&k(1)), None);
+        // And scans agree.
+        assert!(s.scan(&[], None, 10).is_empty());
+    }
+
+    #[test]
+    fn flush_and_compaction_fire() {
+        let mut s = tiny();
+        for i in 0..200 {
+            s.put(k(i), vec![b'v'; 32]);
+        }
+        let st = s.stats();
+        assert!(st.flushes > 0, "expected flushes");
+        assert!(st.compactions > 0, "expected compactions");
+        assert!(s.run_count() <= 3);
+        // All keys still readable after compaction.
+        for i in 0..200 {
+            assert!(s.get(&k(i)).is_some(), "key {i} lost");
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones() {
+        let mut s = LsmStore::with_config(LsmConfig {
+            memtable_capacity_bytes: 64,
+            max_runs: 1, bloom_bits_per_key: 10, });
+        s.put(k(1), b"x".to_vec());
+        s.flush();
+        s.delete(k(1));
+        s.flush(); // triggers compaction (2 runs > max 1)
+        assert_eq!(s.run_count(), 0, "tombstone-only store should compact away");
+    }
+
+    #[test]
+    fn scan_is_ordered_and_bounded() {
+        let mut s = tiny();
+        for i in (0..50).rev() {
+            s.put(k(i), i.to_string().into_bytes());
+        }
+        let out = s.scan(&k(10), Some(&k(20)), 100);
+        let keys: Vec<Key> = out.iter().map(|(key, _)| key.clone()).collect();
+        let expect: Vec<Key> = (10..20).map(k).collect();
+        assert_eq!(keys, expect);
+        // Limit applies.
+        assert_eq!(s.scan(&k(0), None, 5).len(), 5);
+    }
+
+    #[test]
+    fn scan_sees_newest_version_across_levels() {
+        let mut s = tiny();
+        s.put(k(5), b"old".to_vec());
+        s.flush();
+        s.put(k(5), b"new".to_vec());
+        let out = s.scan(&k(5), None, 1);
+        assert_eq!(out[0].1, b"new".to_vec());
+    }
+
+    #[test]
+    fn stats_track_read_paths() {
+        let mut s = tiny();
+        s.put(k(1), b"x".to_vec());
+        s.get(&k(1)); // memtable hit
+        s.flush();
+        s.get(&k(1)); // run probe
+        let st = s.stats();
+        assert_eq!(st.reads, 2);
+        assert_eq!(st.memtable_hits, 1);
+        assert!(st.run_probes >= 1);
+        assert!(st.total_ops() >= 3);
+    }
+
+    #[test]
+    fn bloom_filters_skip_cold_run_probes() {
+        let mut with_bloom = LsmStore::with_config(LsmConfig {
+            memtable_capacity_bytes: 512,
+            max_runs: 16,
+            bloom_bits_per_key: 10,
+        });
+        for i in 0..200 {
+            with_bloom.put(k(i), vec![b'v'; 16]);
+        }
+        with_bloom.flush();
+        // Misses: keys that exist in no run.
+        for i in 1000..1200 {
+            assert_eq!(with_bloom.get(&k(i)), None);
+        }
+        let st = with_bloom.stats();
+        assert!(st.bloom_skips > 150, "bloom skips {}", st.bloom_skips);
+
+        let mut without = LsmStore::with_config(LsmConfig {
+            memtable_capacity_bytes: 512,
+            max_runs: 16,
+            bloom_bits_per_key: 0,
+        });
+        for i in 0..200 {
+            without.put(k(i), vec![b'v'; 16]);
+        }
+        without.flush();
+        for i in 1000..1200 {
+            assert_eq!(without.get(&k(i)), None);
+        }
+        assert_eq!(without.stats().bloom_skips, 0);
+        assert!(without.stats().run_probes > with_bloom.stats().run_probes);
+    }
+
+    #[test]
+    fn bloom_never_hides_present_keys() {
+        let mut s = LsmStore::with_config(LsmConfig {
+            memtable_capacity_bytes: 128,
+            max_runs: 32,
+            bloom_bits_per_key: 10,
+        });
+        for i in 0..300 {
+            s.put(k(i), i.to_string().into_bytes());
+        }
+        s.flush();
+        for i in 0..300 {
+            assert_eq!(s.get(&k(i)), Some(i.to_string().into_bytes()));
+        }
+    }
+
+    #[test]
+    fn shared_store_is_cloneable_and_consistent() {
+        let s = SharedLsm::default();
+        let s2 = s.clone();
+        s.put(b"a".to_vec(), b"1".to_vec());
+        assert_eq!(s2.get(b"a"), Some(b"1".to_vec()));
+        s2.delete(b"a".to_vec());
+        assert_eq!(s.get(b"a"), None);
+        assert!(s.stats().writes >= 2);
+    }
+
+    #[test]
+    fn shared_store_concurrent_writers() {
+        let s = SharedLsm::with_config(LsmConfig {
+            memtable_capacity_bytes: 512,
+            max_runs: 2, bloom_bits_per_key: 10, });
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        s.put(
+                            format!("t{t}k{i:04}").into_bytes(),
+                            vec![b'x'; 16],
+                        );
+                    }
+                });
+            }
+        });
+        let all = s.scan(b"", None, usize::MAX);
+        assert_eq!(all.len(), 1000);
+    }
+}

@@ -1,0 +1,108 @@
+//! Hadoop-style job counters.
+//!
+//! Counters are the engine's contribution to the paper's *architecture
+//! metrics*: deterministic operation counts that are comparable across
+//! workload categories, unlike wall-clock times (see `bdb-metrics`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters updated by map/reduce workers.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Records read by mappers.
+    pub map_input_records: AtomicU64,
+    /// Key/value pairs emitted by mappers.
+    pub map_output_records: AtomicU64,
+    /// Pairs remaining after the combiner (equals map output when no
+    /// combiner runs).
+    pub combine_output_records: AtomicU64,
+    /// Pairs moved through the shuffle.
+    pub shuffle_records: AtomicU64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: AtomicU64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: AtomicU64,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter with relaxed ordering (counters are
+    /// statistical, not synchronising).
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// An immutable snapshot of the current values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            map_input_records: self.map_input_records.load(Ordering::Relaxed),
+            map_output_records: self.map_output_records.load(Ordering::Relaxed),
+            combine_output_records: self.combine_output_records.load(Ordering::Relaxed),
+            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            reduce_input_groups: self.reduce_input_groups.load(Ordering::Relaxed),
+            reduce_output_records: self.reduce_output_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Records read by mappers.
+    pub map_input_records: u64,
+    /// Key/value pairs emitted by mappers.
+    pub map_output_records: u64,
+    /// Pairs remaining after the combiner.
+    pub combine_output_records: u64,
+    /// Pairs moved through the shuffle.
+    pub shuffle_records: u64,
+    /// Distinct keys seen by reducers.
+    pub reduce_input_groups: u64,
+    /// Records emitted by reducers.
+    pub reduce_output_records: u64,
+}
+
+impl CounterSnapshot {
+    /// Total record operations: the engine's instruction-count proxy used
+    /// by the architecture metrics.
+    pub fn total_record_ops(&self) -> u64 {
+        self.map_input_records
+            + self.map_output_records
+            + self.shuffle_records
+            + self.reduce_output_records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_adds() {
+        let c = Counters::new();
+        Counters::add(&c.map_input_records, 10);
+        Counters::add(&c.map_output_records, 25);
+        Counters::add(&c.map_input_records, 5);
+        let s = c.snapshot();
+        assert_eq!(s.map_input_records, 15);
+        assert_eq!(s.map_output_records, 25);
+        assert_eq!(s.reduce_output_records, 0);
+    }
+
+    #[test]
+    fn total_record_ops_sums_the_flow() {
+        let s = CounterSnapshot {
+            map_input_records: 1,
+            map_output_records: 2,
+            combine_output_records: 2,
+            shuffle_records: 4,
+            reduce_input_groups: 1,
+            reduce_output_records: 8,
+        };
+        assert_eq!(s.total_record_ops(), 15);
+    }
+}

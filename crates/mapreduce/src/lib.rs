@@ -1,0 +1,36 @@
+//! A miniature in-process MapReduce engine.
+//!
+//! The substrate standing in for Hadoop in this reproduction (see
+//! DESIGN.md's substitution table). It executes the genuine MapReduce
+//! dataflow — input splits → parallel map → optional combine →
+//! hash-partitioned shuffle → per-partition sort → grouped reduce — on
+//! threads instead of a cluster, with Hadoop-style job counters feeding
+//! the architecture metrics.
+//!
+//! ```
+//! use bdb_mapreduce::{run_job, JobConfig};
+//!
+//! // WordCount over three "lines".
+//! let input = vec!["big data", "big systems", "data"];
+//! let result = run_job(
+//!     &JobConfig::default(),
+//!     input,
+//!     |line, emit| {
+//!         for w in line.split(' ') {
+//!             emit(w.to_string(), 1u64);
+//!         }
+//!     },
+//!     |word, counts, out| out((word.clone(), counts.iter().sum::<u64>())),
+//! );
+//! let mut pairs = result.outputs;
+//! pairs.sort();
+//! assert_eq!(pairs, vec![
+//!     ("big".into(), 2), ("data".into(), 2), ("systems".into(), 1),
+//! ]);
+//! ```
+
+pub mod counters;
+pub mod runtime;
+
+pub use counters::{CounterSnapshot, Counters};
+pub use runtime::{run_job, run_job_with_combiner, JobConfig, JobResult};

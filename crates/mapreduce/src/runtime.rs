@@ -1,0 +1,403 @@
+//! The MapReduce execution pipeline.
+//!
+//! `run_job` executes: split → map (parallel) → \[combine\] → partition by
+//! key hash → shuffle → sort within partition → group → reduce (parallel).
+//! The dataflow is the real thing; only the transport (memory instead of
+//! disk/network) is simulated.
+
+use crate::counters::{CounterSnapshot, Counters};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+/// Job-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Number of map tasks (input splits). 0 = one per worker thread.
+    pub map_tasks: usize,
+    /// Number of reduce tasks (shuffle partitions).
+    pub reduce_tasks: usize,
+    /// Worker threads for both phases. 0 = available parallelism.
+    pub workers: usize,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self { map_tasks: 0, reduce_tasks: 4, workers: 0 }
+    }
+}
+
+impl JobConfig {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        }
+    }
+}
+
+/// The result of a completed job.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Reducer outputs, concatenated in partition order.
+    pub outputs: Vec<O>,
+    /// Final counter values.
+    pub counters: CounterSnapshot,
+    /// Wall-clock duration of the whole job.
+    pub elapsed: Duration,
+}
+
+fn hash_partition<K: Hash>(key: &K, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// Split `input` into `n` nearly equal chunks, preserving order.
+fn split_input<I>(mut input: Vec<I>, n: usize) -> Vec<Vec<I>> {
+    let n = n.max(1);
+    let total = input.len();
+    let base = total / n;
+    let extra = total % n;
+    let mut splits = Vec::with_capacity(n);
+    // Draining from the front keeps split order aligned with input order.
+    let mut rest = input.split_off(0);
+    for i in 0..n {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take.min(rest.len()));
+        splits.push(rest);
+        rest = tail;
+    }
+    splits
+}
+
+/// Run a MapReduce job without a combiner. See the crate docs for an
+/// example.
+pub fn run_job<I, K, V, O, M, R>(
+    config: &JobConfig,
+    input: Vec<I>,
+    mapper: M,
+    reducer: R,
+) -> JobResult<O>
+where
+    I: Send,
+    K: Ord + Hash + Clone + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    // A no-op combiner type so both entry points share one pipeline.
+    let no_combiner: Option<&fn(&K, Vec<V>) -> V> = None;
+    run_pipeline(config, input, &mapper, no_combiner, &reducer)
+}
+
+/// Run a MapReduce job with a combiner that folds each mapper's local
+/// values per key before the shuffle (Hadoop's `combine` step).
+pub fn run_job_with_combiner<I, K, V, O, M, C, R>(
+    config: &JobConfig,
+    input: Vec<I>,
+    mapper: M,
+    combiner: C,
+    reducer: R,
+) -> JobResult<O>
+where
+    I: Send,
+    K: Ord + Hash + Clone + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    C: Fn(&K, Vec<V>) -> V + Sync,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    run_pipeline(config, input, &mapper, Some(&combiner), &reducer)
+}
+
+fn run_pipeline<I, K, V, O, M, C, R>(
+    config: &JobConfig,
+    input: Vec<I>,
+    mapper: &M,
+    combiner: Option<&C>,
+    reducer: &R,
+) -> JobResult<O>
+where
+    I: Send,
+    K: Ord + Hash + Clone + Send,
+    V: Send,
+    O: Send,
+    M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+    C: Fn(&K, Vec<V>) -> V + Sync,
+    R: Fn(&K, Vec<V>, &mut dyn FnMut(O)) + Sync,
+{
+    let start = Instant::now();
+    let counters = Counters::new();
+    let workers = config.effective_workers();
+    let map_tasks = if config.map_tasks > 0 { config.map_tasks } else { workers };
+    let reduce_tasks = config.reduce_tasks.max(1);
+
+    // ---- Map phase (parallel over splits) ----
+    let splits = split_input(input, map_tasks);
+    // Each map task produces `reduce_tasks` partitions of (K, V).
+    let map_outputs: Vec<Vec<Vec<(K, V)>>> = std::thread::scope(|scope| {
+        let counters = &counters;
+        let handles: Vec<_> = splits
+            .into_iter()
+            .map(|split| {
+                scope.spawn(move || {
+                    let mut partitions: Vec<Vec<(K, V)>> =
+                        (0..reduce_tasks).map(|_| Vec::new()).collect();
+                    let mut emitted = 0u64;
+                    for record in &split {
+                        let mut emit = |k: K, v: V| {
+                            emitted += 1;
+                            let p = hash_partition(&k, reduce_tasks);
+                            partitions[p].push((k, v));
+                        };
+                        mapper(record, &mut emit);
+                    }
+                    Counters::add(&counters.map_input_records, split.len() as u64);
+                    Counters::add(&counters.map_output_records, emitted);
+                    // ---- Combine (local, per map task) ----
+                    if let Some(c) = combiner {
+                        for part in &mut partitions {
+                            *part = combine_partition(std::mem::take(part), c);
+                        }
+                    }
+                    let after: u64 = partitions.iter().map(|p| p.len() as u64).sum();
+                    Counters::add(&counters.combine_output_records, after);
+                    partitions
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map task panicked"))
+            .collect()
+    });
+
+    // ---- Shuffle: gather partition p from every map task ----
+    let mut reduce_inputs: Vec<Vec<(K, V)>> = (0..reduce_tasks).map(|_| Vec::new()).collect();
+    let mut shuffled = 0u64;
+    for mut task_out in map_outputs {
+        for (p, part) in task_out.drain(..).enumerate() {
+            shuffled += part.len() as u64;
+            reduce_inputs[p].extend(part);
+        }
+    }
+    Counters::add(&counters.shuffle_records, shuffled);
+
+    // ---- Reduce phase (parallel over partitions, sorted input) ----
+    let mut partition_outputs: Vec<(usize, Vec<O>)> = std::thread::scope(|scope| {
+        let counters = &counters;
+        let handles: Vec<_> = reduce_inputs
+            .into_iter()
+            .enumerate()
+            .map(|(p, mut pairs)| {
+                scope.spawn(move || {
+                    // The sort that defines MapReduce reduce-input order.
+                    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                    let mut outputs = Vec::new();
+                    let mut groups = 0u64;
+                    let mut emitted = 0u64;
+                    let mut iter = pairs.into_iter().peekable();
+                    while let Some((key, first)) = iter.next() {
+                        let mut values = vec![first];
+                        while iter.peek().is_some_and(|(k, _)| *k == key) {
+                            values.push(iter.next().unwrap().1);
+                        }
+                        groups += 1;
+                        let mut out = |o: O| {
+                            emitted += 1;
+                            outputs.push(o);
+                        };
+                        reducer(&key, values, &mut out);
+                    }
+                    Counters::add(&counters.reduce_input_groups, groups);
+                    Counters::add(&counters.reduce_output_records, emitted);
+                    (p, outputs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce task panicked"))
+            .collect()
+    });
+    partition_outputs.sort_by_key(|(p, _)| *p);
+    let outputs = partition_outputs.into_iter().flat_map(|(_, o)| o).collect();
+
+    JobResult { outputs, counters: counters.snapshot(), elapsed: start.elapsed() }
+}
+
+/// Sort-and-fold a map task's partition with the combiner.
+fn combine_partition<K: Ord, V, C: Fn(&K, Vec<V>) -> V>(
+    mut pairs: Vec<(K, V)>,
+    combiner: &C,
+) -> Vec<(K, V)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, V)> = Vec::new();
+    let mut iter = pairs.into_iter().peekable();
+    while let Some((key, first)) = iter.next() {
+        let mut values = vec![first];
+        while iter.peek().is_some_and(|(k, _)| *k == key) {
+            values.push(iter.next().unwrap().1);
+        }
+        let folded = combiner(&key, values);
+        out.push((key, folded));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wordcount(lines: Vec<&str>, cfg: &JobConfig) -> Vec<(String, u64)> {
+        let mut r = run_job(
+            cfg,
+            lines,
+            |line: &&str, emit| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |w: &String, vs: Vec<u64>, out| out((w.clone(), vs.iter().sum::<u64>())),
+        )
+        .outputs;
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn wordcount_matches_manual_counts() {
+        let got = wordcount(
+            vec!["a b a", "c b", "a"],
+            &JobConfig { map_tasks: 2, reduce_tasks: 3, workers: 2 },
+        );
+        assert_eq!(got, vec![("a".into(), 3), ("b".into(), 2), ("c".into(), 1)]);
+    }
+
+    #[test]
+    fn result_is_independent_of_task_counts() {
+        let lines = vec!["x y", "y z x", "z z z", "w"];
+        let base = wordcount(lines.clone(), &JobConfig::default());
+        for (m, r, w) in [(1, 1, 1), (4, 2, 3), (7, 9, 2)] {
+            let cfg = JobConfig { map_tasks: m, reduce_tasks: r, workers: w };
+            assert_eq!(wordcount(lines.clone(), &cfg), base, "cfg {m}/{r}/{w}");
+        }
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume_without_changing_results() {
+        let lines: Vec<String> = (0..200).map(|i| format!("k{} k{} k0", i % 5, i % 3)).collect();
+        let cfg = JobConfig { map_tasks: 4, reduce_tasks: 2, workers: 2 };
+        let plain = run_job(
+            &cfg,
+            lines.clone(),
+            |line: &String, emit| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |w: &String, vs: Vec<u64>, out| out((w.clone(), vs.iter().sum::<u64>())),
+        );
+        let combined = run_job_with_combiner(
+            &cfg,
+            lines,
+            |line: &String, emit| {
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |_w: &String, vs: Vec<u64>| vs.iter().sum(),
+            |w: &String, vs: Vec<u64>, out| out((w.clone(), vs.iter().sum::<u64>())),
+        );
+        let mut a = plain.outputs;
+        let mut b = combined.outputs;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(
+            combined.counters.shuffle_records < plain.counters.shuffle_records,
+            "combiner should shrink the shuffle: {} vs {}",
+            combined.counters.shuffle_records,
+            plain.counters.shuffle_records
+        );
+    }
+
+    #[test]
+    fn counters_track_the_dataflow() {
+        let r = run_job(
+            &JobConfig { map_tasks: 2, reduce_tasks: 2, workers: 2 },
+            vec![1u64, 2, 3, 4],
+            |x: &u64, emit| emit(x % 2, *x),
+            |_k: &u64, vs: Vec<u64>, out| out(vs.iter().sum::<u64>()),
+        );
+        let c = r.counters;
+        assert_eq!(c.map_input_records, 4);
+        assert_eq!(c.map_output_records, 4);
+        assert_eq!(c.shuffle_records, 4);
+        assert_eq!(c.reduce_input_groups, 2);
+        assert_eq!(c.reduce_output_records, 2);
+        let mut sums = r.outputs;
+        sums.sort();
+        assert_eq!(sums, vec![4, 6]); // evens 2+4... odds 1+3
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let r = run_job(
+            &JobConfig::default(),
+            Vec::<u32>::new(),
+            |x: &u32, emit| emit(*x, *x),
+            |k: &u32, _vs: Vec<u32>, out| out(*k),
+        );
+        assert!(r.outputs.is_empty());
+        assert_eq!(r.counters.map_input_records, 0);
+    }
+
+    #[test]
+    fn reduce_sees_values_grouped_per_key() {
+        let r = run_job(
+            &JobConfig { map_tasks: 3, reduce_tasks: 1, workers: 2 },
+            vec![("a", 1), ("b", 2), ("a", 3), ("a", 4)],
+            |(k, v): &(&str, i32), emit| emit(k.to_string(), *v),
+            |k: &String, mut vs: Vec<i32>, out| {
+                vs.sort();
+                out((k.clone(), vs));
+            },
+        );
+        let mut outs = r.outputs;
+        outs.sort();
+        assert_eq!(
+            outs,
+            vec![("a".to_string(), vec![1, 3, 4]), ("b".to_string(), vec![2])]
+        );
+    }
+
+    #[test]
+    fn split_input_preserves_order_and_counts() {
+        let splits = split_input((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[0], vec![0, 1, 2, 3]);
+        assert_eq!(splits[1], vec![4, 5, 6]);
+        assert_eq!(splits[2], vec![7, 8, 9]);
+        let empty = split_input(Vec::<u8>::new(), 4);
+        assert_eq!(empty.len(), 4);
+        assert!(empty.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn sort_job_via_single_reducer() {
+        // The classic MR sort: identity map, single partition, sorted keys.
+        let data = vec![5u64, 1, 9, 3, 7, 2];
+        let r = run_job(
+            &JobConfig { map_tasks: 2, reduce_tasks: 1, workers: 2 },
+            data,
+            |x: &u64, emit| emit(*x, ()),
+            |k: &u64, _vs: Vec<()>, out| out(*k),
+        );
+        assert_eq!(r.outputs, vec![1, 2, 3, 5, 7, 9]);
+    }
+}

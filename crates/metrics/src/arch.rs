@@ -1,0 +1,79 @@
+//! Architecture metrics: MIPS/MFLOPS-style rates from operation counters.
+//!
+//! The paper's architecture metrics (MIPS, MFLOPS) "are designed to
+//! compare workloads from different categories". Real hardware counters
+//! are not portable or deterministic, so the engines in this workspace
+//! count *logical operations* instead — records moved, keys compared,
+//! hash probes, float operations — and this module turns those counts
+//! into rates with the same comparative role. DESIGN.md documents the
+//! substitution.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic operation counts reported by an engine or workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Record/tuple-level operations (the instruction proxy).
+    pub record_ops: u64,
+    /// Floating-point operations performed by the workload kernel.
+    pub float_ops: u64,
+}
+
+impl OpCounts {
+    /// Combine counts from two phases or engines.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.record_ops += other.record_ops;
+        self.float_ops += other.float_ops;
+    }
+}
+
+/// MIPS/MFLOPS-style rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ArchMetrics {
+    /// Million record-operations per second (the MIPS analog).
+    pub mrops: f64,
+    /// Million float operations per second (the MFLOPS analog).
+    pub mflops: f64,
+    /// Record operations per input item (workload "instruction count").
+    pub ops_per_item: f64,
+}
+
+impl ArchMetrics {
+    /// Derive rates from counts, an elapsed time and the input size.
+    pub fn derive(counts: &OpCounts, elapsed_secs: f64, input_items: u64) -> Self {
+        let secs = elapsed_secs.max(1e-9);
+        Self {
+            mrops: counts.record_ops as f64 / secs / 1e6,
+            mflops: counts.float_ops as f64 / secs / 1e6,
+            ops_per_item: counts.record_ops as f64 / (input_items.max(1) as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_computes_rates() {
+        let counts = OpCounts { record_ops: 2_000_000, float_ops: 500_000 };
+        let m = ArchMetrics::derive(&counts, 2.0, 1000);
+        assert!((m.mrops - 1.0).abs() < 1e-9);
+        assert!((m.mflops - 0.25).abs() < 1e-9);
+        assert!((m.ops_per_item - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = OpCounts { record_ops: 1, float_ops: 2 };
+        a.merge(&OpCounts { record_ops: 10, float_ops: 20 });
+        assert_eq!(a, OpCounts { record_ops: 11, float_ops: 22 });
+    }
+
+    #[test]
+    fn zero_guards() {
+        let m = ArchMetrics::derive(&OpCounts::default(), 0.0, 0);
+        assert_eq!(m.mrops, 0.0);
+        assert_eq!(m.ops_per_item, 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Energy and cost models.
+//!
+//! The paper requires metrics that "not only measure system performance,
+//! but also take energy consumption, cost efficiency into consideration".
+//! Absent a power meter, both are computed from documented parameterised
+//! models (DESIGN.md records the substitution): a linear CPU power model
+//! and a $/core-hour cloud-pricing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Linear power model: `P(u) = idle + (peak − idle) · u`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Power draw at idle, watts.
+    pub idle_watts: f64,
+    /// Power draw at full utilisation, watts.
+    pub peak_watts: f64,
+}
+
+impl Default for PowerModel {
+    /// A typical dual-socket server: 100 W idle, 400 W peak.
+    fn default() -> Self {
+        Self { idle_watts: 100.0, peak_watts: 400.0 }
+    }
+}
+
+impl PowerModel {
+    /// Instantaneous power at `utilization ∈ [0, 1]`.
+    pub fn power_watts(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_watts + (self.peak_watts - self.idle_watts) * u
+    }
+
+    /// Energy in joules for a run of `duration_secs` at mean utilisation.
+    pub fn energy_joules(&self, duration_secs: f64, mean_utilization: f64) -> f64 {
+        self.power_watts(mean_utilization) * duration_secs.max(0.0)
+    }
+
+    /// Energy efficiency: operations per joule.
+    pub fn ops_per_joule(&self, ops: u64, duration_secs: f64, mean_utilization: f64) -> f64 {
+        let j = self.energy_joules(duration_secs, mean_utilization);
+        if j <= 0.0 {
+            0.0
+        } else {
+            ops as f64 / j
+        }
+    }
+}
+
+/// Cloud-style cost model: dollars per core-hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one core for one hour.
+    pub dollars_per_core_hour: f64,
+}
+
+impl Default for CostModel {
+    /// A typical on-demand price: $0.05/core-hour.
+    fn default() -> Self {
+        Self { dollars_per_core_hour: 0.05 }
+    }
+}
+
+impl CostModel {
+    /// Cost of a run on `cores` cores.
+    pub fn cost_dollars(&self, duration_secs: f64, cores: usize) -> f64 {
+        self.dollars_per_core_hour * cores as f64 * duration_secs.max(0.0) / 3600.0
+    }
+
+    /// Cost efficiency: operations per dollar.
+    pub fn ops_per_dollar(&self, ops: u64, duration_secs: f64, cores: usize) -> f64 {
+        let c = self.cost_dollars(duration_secs, cores);
+        if c <= 0.0 {
+            0.0
+        } else {
+            ops as f64 / c
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_linear_and_clamped() {
+        let p = PowerModel { idle_watts: 100.0, peak_watts: 300.0 };
+        assert_eq!(p.power_watts(0.0), 100.0);
+        assert_eq!(p.power_watts(0.5), 200.0);
+        assert_eq!(p.power_watts(1.0), 300.0);
+        assert_eq!(p.power_watts(7.0), 300.0);
+        assert_eq!(p.power_watts(-1.0), 100.0);
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let p = PowerModel::default();
+        let e1 = p.energy_joules(10.0, 0.5);
+        let e2 = p.energy_joules(20.0, 0.5);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        assert_eq!(p.energy_joules(-5.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn efficiency_metrics() {
+        let p = PowerModel { idle_watts: 0.0, peak_watts: 100.0 };
+        // 1000 ops in 10 s at full power = 1000 J → 1 op/J.
+        assert!((p.ops_per_joule(1000, 10.0, 1.0) - 1.0).abs() < 1e-9);
+        let c = CostModel { dollars_per_core_hour: 3600.0 };
+        // 1 core for 1 s = $1 → 1000 ops/dollar.
+        assert!((c.ops_per_dollar(1000, 1.0, 1) - 1000.0).abs() < 1e-9);
+        assert_eq!(c.ops_per_dollar(1000, 0.0, 1), 0.0);
+    }
+
+    #[test]
+    fn cost_scales_with_cores() {
+        let c = CostModel::default();
+        assert!((c.cost_dollars(3600.0, 4) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,270 @@
+//! Heterogeneous hardware platform models (Section 5.2).
+//!
+//! The paper asks benchmarks to evaluate workloads across platforms like
+//! Xeon+GPGPU and Xeon+MIC and answer two questions: "(1) whether any
+//! platform can consistently win in terms of both performance and energy
+//! efficiency for all big data applications, and (2) for each class of
+//! big data applications … some specific platform that can realize better
+//! performance and energy efficiency".
+//!
+//! Without the hardware, the platforms are *models* (DESIGN.md records
+//! the substitution): a platform accelerates a workload's compute-bound
+//! share (its float-operation time) and its data-bound share (record
+//! movement) by different factors and draws its own power. Projections
+//! over *measured* baseline runs then answer both questions — including
+//! the expected headline shape: accelerators win compute-heavy analytics
+//! but lose energy efficiency on data-movement-heavy workloads, so no
+//! platform wins everywhere.
+
+use crate::model::PowerModel;
+use crate::report::MetricReport;
+use serde::{Deserialize, Serialize};
+
+/// A modeled hardware platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformProfile {
+    /// Platform name.
+    pub name: String,
+    /// Speedup applied to the compute-bound (float-op) time share.
+    pub compute_speedup: f64,
+    /// Speedup applied to the data-bound (record-op) time share.
+    pub data_speedup: f64,
+    /// The platform's power model.
+    pub power: PowerModel,
+}
+
+impl PlatformProfile {
+    /// The baseline dual-socket Xeon: all measurements are taken here.
+    pub fn xeon() -> Self {
+        Self {
+            name: "Xeon".into(),
+            compute_speedup: 1.0,
+            data_speedup: 1.0,
+            power: PowerModel { idle_watts: 100.0, peak_watts: 400.0 },
+        }
+    }
+
+    /// Xeon plus a GPGPU: large compute speedup, no help moving records,
+    /// much higher power draw.
+    pub fn xeon_gpgpu() -> Self {
+        Self {
+            name: "Xeon+GPGPU".into(),
+            compute_speedup: 8.0,
+            data_speedup: 1.0,
+            power: PowerModel { idle_watts: 150.0, peak_watts: 700.0 },
+        }
+    }
+
+    /// Xeon plus a many-integrated-core accelerator: moderate compute
+    /// speedup, slight data-path help, elevated power.
+    pub fn xeon_mic() -> Self {
+        Self {
+            name: "Xeon+MIC".into(),
+            compute_speedup: 4.0,
+            data_speedup: 1.3,
+            power: PowerModel { idle_watts: 130.0, peak_watts: 550.0 },
+        }
+    }
+
+    /// A low-power microserver: slower everywhere, much lower power.
+    pub fn microserver() -> Self {
+        Self {
+            name: "Microserver".into(),
+            compute_speedup: 0.4,
+            data_speedup: 0.5,
+            power: PowerModel { idle_watts: 15.0, peak_watts: 60.0 },
+        }
+    }
+
+    /// The study's default platform set.
+    pub fn standard_set() -> Vec<Self> {
+        vec![Self::xeon(), Self::xeon_gpgpu(), Self::xeon_mic(), Self::microserver()]
+    }
+}
+
+/// One workload's projected behaviour on one platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformProjection {
+    /// Platform name.
+    pub platform: String,
+    /// Workload name.
+    pub workload: String,
+    /// Projected duration, seconds.
+    pub duration_secs: f64,
+    /// Projected energy, joules.
+    pub energy_joules: f64,
+    /// Operations per joule under the projection.
+    pub ops_per_joule: f64,
+}
+
+/// The compute-bound share of a run's time, estimated from its operation
+/// counters: float ops vs total counted ops.
+pub fn compute_fraction(report: &MetricReport) -> f64 {
+    let f = report.ops.float_ops as f64;
+    let r = report.ops.record_ops as f64;
+    if f + r <= 0.0 {
+        0.0
+    } else {
+        f / (f + r)
+    }
+}
+
+/// Project a measured baseline (Xeon) run onto a platform model.
+pub fn project(report: &MetricReport, platform: &PlatformProfile, utilization: f64) -> PlatformProjection {
+    let cf = compute_fraction(report);
+    let base = report.user.duration_secs;
+    let duration = base * (cf / platform.compute_speedup + (1.0 - cf) / platform.data_speedup);
+    let energy = platform.power.energy_joules(duration, utilization);
+    PlatformProjection {
+        platform: platform.name.clone(),
+        workload: report.workload.clone(),
+        duration_secs: duration,
+        energy_joules: energy,
+        ops_per_joule: if energy > 0.0 {
+            report.user.operations as f64 / energy
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The full platform study over a set of measured workload reports.
+#[derive(Debug, Clone)]
+pub struct PlatformStudy {
+    /// `projections[w][p]`: workload `w` on platform `p`.
+    pub projections: Vec<Vec<PlatformProjection>>,
+    /// Platform names in column order.
+    pub platforms: Vec<String>,
+}
+
+impl PlatformStudy {
+    /// Run the study: project every report onto every platform.
+    pub fn run(reports: &[MetricReport], platforms: &[PlatformProfile], utilization: f64) -> Self {
+        let projections = reports
+            .iter()
+            .map(|r| platforms.iter().map(|p| project(r, p, utilization)).collect())
+            .collect();
+        Self {
+            projections,
+            platforms: platforms.iter().map(|p| p.name.clone()).collect(),
+        }
+    }
+
+    /// Paper question (1): a platform that wins **both** duration and
+    /// energy efficiency on **every** workload, if one exists.
+    pub fn consistent_winner(&self) -> Option<&str> {
+        'candidate: for (pi, name) in self.platforms.iter().enumerate() {
+            for row in &self.projections {
+                let cand = &row[pi];
+                for (qi, other) in row.iter().enumerate() {
+                    if qi == pi {
+                        continue;
+                    }
+                    if other.duration_secs < cand.duration_secs
+                        || other.ops_per_joule > cand.ops_per_joule
+                    {
+                        continue 'candidate;
+                    }
+                }
+            }
+            return Some(name);
+        }
+        None
+    }
+
+    /// Paper question (2): for one workload (by row index), the platform
+    /// with the best duration and the platform with the best energy
+    /// efficiency.
+    pub fn best_for(&self, workload_idx: usize) -> (&PlatformProjection, &PlatformProjection) {
+        let row = &self.projections[workload_idx];
+        let fastest = row
+            .iter()
+            .min_by(|a, b| a.duration_secs.partial_cmp(&b.duration_secs).expect("finite"))
+            .expect("non-empty");
+        let greenest = row
+            .iter()
+            .max_by(|a, b| a.ops_per_joule.partial_cmp(&b.ops_per_joule).expect("finite"))
+            .expect("non-empty");
+        (fastest, greenest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::OpCounts;
+    use crate::collector::UserMetrics;
+
+    fn report(name: &str, duration: f64, record_ops: u64, float_ops: u64) -> MetricReport {
+        MetricReport {
+            workload: name.into(),
+            system: "native".into(),
+            user: UserMetrics {
+                duration_secs: duration,
+                operations: 1_000,
+                ..Default::default()
+            },
+            ops: OpCounts { record_ops, float_ops },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_fraction_splits_by_counters() {
+        assert_eq!(compute_fraction(&report("w", 1.0, 100, 0)), 0.0);
+        assert_eq!(compute_fraction(&report("w", 1.0, 0, 100)), 1.0);
+        assert_eq!(compute_fraction(&report("w", 1.0, 50, 50)), 0.5);
+        assert_eq!(compute_fraction(&report("w", 1.0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn gpgpu_accelerates_compute_bound_only() {
+        let compute = report("kmeans", 8.0, 0, 1_000_000);
+        let data = report("sort", 8.0, 1_000_000, 0);
+        let gpgpu = PlatformProfile::xeon_gpgpu();
+        let pc = project(&compute, &gpgpu, 0.8);
+        let pd = project(&data, &gpgpu, 0.8);
+        assert!((pc.duration_secs - 1.0).abs() < 1e-9, "8x on compute");
+        assert!((pd.duration_secs - 8.0).abs() < 1e-9, "no data speedup");
+    }
+
+    #[test]
+    fn no_consistent_winner_across_mixed_workloads() {
+        // The paper's expected answer to question (1): accelerators win
+        // compute-heavy, the microserver wins energy on data-heavy.
+        let reports = vec![
+            report("social/kmeans", 5.0, 1_000, 10_000_000),
+            report("micro/sort", 5.0, 10_000_000, 0),
+        ];
+        let study = PlatformStudy::run(&reports, &PlatformProfile::standard_set(), 0.8);
+        assert_eq!(study.consistent_winner(), None);
+    }
+
+    #[test]
+    fn per_class_winners_differ_by_shape() {
+        let reports = vec![
+            report("social/kmeans", 5.0, 1_000, 10_000_000),
+            report("micro/sort", 5.0, 10_000_000, 0),
+        ];
+        let study = PlatformStudy::run(&reports, &PlatformProfile::standard_set(), 0.8);
+        let (fast_compute, _) = study.best_for(0);
+        assert_eq!(fast_compute.platform, "Xeon+GPGPU");
+        let (_, green_data) = study.best_for(1);
+        assert_eq!(green_data.platform, "Microserver");
+    }
+
+    #[test]
+    fn a_dominant_platform_is_detected_when_it_exists() {
+        // With only the baseline and a strictly better platform, question
+        // (1) has a positive answer.
+        let better = PlatformProfile {
+            name: "Better".into(),
+            compute_speedup: 2.0,
+            data_speedup: 2.0,
+            power: PowerModel { idle_watts: 50.0, peak_watts: 200.0 },
+        };
+        let reports = vec![report("w", 5.0, 100, 100)];
+        let study = PlatformStudy::run(&reports, &[PlatformProfile::xeon(), better], 0.8);
+        assert_eq!(study.consistent_winner(), Some("Better"));
+    }
+}

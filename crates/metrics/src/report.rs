@@ -1,0 +1,133 @@
+//! The combined metric report for one benchmark run.
+
+use crate::arch::{ArchMetrics, OpCounts};
+use crate::collector::UserMetrics;
+use crate::model::{CostModel, PowerModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Everything measured about one workload execution: user-perceivable
+/// metrics, architecture metrics, energy and cost.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct MetricReport {
+    /// Workload name (e.g. "micro/wordcount").
+    pub workload: String,
+    /// Executing system (e.g. "mapreduce", "sql").
+    pub system: String,
+    /// User-perceivable metrics.
+    pub user: UserMetrics,
+    /// Architecture metrics.
+    pub arch: ArchMetrics,
+    /// Raw operation counts behind the architecture metrics.
+    pub ops: OpCounts,
+    /// Modelled energy in joules.
+    pub energy_joules: f64,
+    /// Modelled cost in dollars.
+    pub cost_dollars: f64,
+}
+
+impl MetricReport {
+    /// Assemble a report from its parts using the given models.
+    ///
+    /// `utilization` is the mean CPU utilisation of the run and `cores`
+    /// the core count billed for it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        workload: impl Into<String>,
+        system: impl Into<String>,
+        user: UserMetrics,
+        ops: OpCounts,
+        input_items: u64,
+        power: &PowerModel,
+        cost: &CostModel,
+        utilization: f64,
+        cores: usize,
+    ) -> Self {
+        let arch = ArchMetrics::derive(&ops, user.duration_secs, input_items);
+        Self {
+            workload: workload.into(),
+            system: system.into(),
+            energy_joules: power.energy_joules(user.duration_secs, utilization),
+            cost_dollars: cost.cost_dollars(user.duration_secs, cores),
+            user,
+            arch,
+            ops,
+        }
+    }
+
+    /// Operations per joule under the modelled energy.
+    pub fn ops_per_joule(&self) -> f64 {
+        if self.energy_joules <= 0.0 {
+            0.0
+        } else {
+            self.user.operations as f64 / self.energy_joules
+        }
+    }
+}
+
+impl fmt::Display for MetricReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} {:<10} {:>9.3}s {:>12.0} ops/s p50={:<8.1}us p99={:<8.1}us {:>8.2} Mrops {:>8.4} J/kop",
+            self.workload,
+            self.system,
+            self.user.duration_secs,
+            self.user.throughput_ops_per_sec,
+            self.user.latency_p50_us,
+            self.user.latency_p99_us,
+            self.arch.mrops,
+            if self.user.operations == 0 {
+                0.0
+            } else {
+                self.energy_joules / (self.user.operations as f64 / 1e3)
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assemble_fills_all_sections() {
+        let user = UserMetrics {
+            duration_secs: 2.0,
+            operations: 1000,
+            throughput_ops_per_sec: 500.0,
+            ..Default::default()
+        };
+        let ops = OpCounts { record_ops: 4000, float_ops: 100 };
+        let r = MetricReport::assemble(
+            "micro/sort",
+            "mapreduce",
+            user,
+            ops,
+            1000,
+            &PowerModel::default(),
+            &CostModel::default(),
+            0.8,
+            8,
+        );
+        assert_eq!(r.workload, "micro/sort");
+        assert!((r.arch.ops_per_item - 4.0).abs() < 1e-9);
+        assert!(r.energy_joules > 0.0);
+        assert!(r.cost_dollars > 0.0);
+        assert!(r.ops_per_joule() > 0.0);
+        // Display renders without panicking and includes the name.
+        assert!(r.to_string().contains("micro/sort"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = MetricReport {
+            workload: "x".into(),
+            system: "y".into(),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MetricReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.workload, "x");
+    }
+}

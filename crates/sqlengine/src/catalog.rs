@@ -1,0 +1,87 @@
+//! The table catalog.
+
+use bdb_common::record::Table;
+use bdb_common::{BdbError, Result};
+use std::collections::BTreeMap;
+
+/// A name → table registry.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `table` under `name`.
+    ///
+    /// # Errors
+    /// Fails when the name is already registered.
+    pub fn register(&mut self, name: &str, table: Table) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(BdbError::InvalidConfig(format!(
+                "table {name} already registered"
+            )));
+        }
+        self.tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Replace or insert a table (used by load/maintenance workloads).
+    pub fn put(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_string(), table);
+    }
+
+    /// Remove a table, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Look up a table.
+    ///
+    /// # Errors
+    /// Fails when the table does not exist.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| BdbError::NotFound(format!("table {name}")))
+    }
+
+    /// All registered table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_common::value::{DataType, Field, Schema};
+
+    fn t() -> Table {
+        Table::new(Schema::new(vec![Field::new("x", DataType::Int)]))
+    }
+
+    #[test]
+    fn register_get_drop() {
+        let mut c = Catalog::new();
+        c.register("a", t()).unwrap();
+        assert!(c.get("a").is_ok());
+        assert!(c.get("b").is_err());
+        assert!(c.register("a", t()).is_err());
+        assert_eq!(c.table_names(), vec!["a"]);
+        assert!(c.drop_table("a").is_some());
+        assert!(c.drop_table("a").is_none());
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let mut c = Catalog::new();
+        c.register("a", t()).unwrap();
+        c.put("a", t());
+        assert!(c.get("a").is_ok());
+    }
+}

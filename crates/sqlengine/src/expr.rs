@@ -1,0 +1,326 @@
+//! Scalar expressions and their evaluation.
+
+use bdb_common::record::Record;
+use bdb_common::value::{Schema, Value};
+use bdb_common::{BdbError, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar expression over the columns of a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by name (resolved against a schema at eval time).
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// The operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand: binary expression.
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// All column names referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::Not(e) => e.referenced_columns(out),
+        }
+    }
+
+    /// Evaluate against a row under a schema.
+    pub fn eval(&self, schema: &Schema, row: &Record) -> Result<Value> {
+        match self {
+            Expr::Column(name) => {
+                let idx = schema
+                    .index_of(name)
+                    .ok_or_else(|| BdbError::NotFound(format!("column {name}")))?;
+                Ok(row[idx].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Not(e) => {
+                let v = e.eval(schema, row)?;
+                match v {
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(BdbError::TypeMismatch {
+                        expected: "BOOL".into(),
+                        found: format!("{other}"),
+                    }),
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                let l = left.eval(schema, row)?;
+                let r = right.eval(schema, row)?;
+                eval_binary(&l, *op, &r)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL and false are both "filtered out".
+    pub fn eval_predicate(&self, schema: &Schema, row: &Record) -> Result<bool> {
+        Ok(matches!(self.eval(schema, row)?, Value::Bool(true)))
+    }
+}
+
+fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And | Or => {
+            let (a, b) = match (l, r) {
+                (Value::Bool(a), Value::Bool(b)) => (*a, *b),
+                (Value::Null, _) | (_, Value::Null) => return Ok(Value::Null),
+                _ => {
+                    return Err(BdbError::TypeMismatch {
+                        expected: "BOOL operands".into(),
+                        found: format!("{l} {op} {r}"),
+                    })
+                }
+            };
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            if l.is_null() || r.is_null() {
+                // SQL three-valued logic: comparisons with NULL are NULL.
+                return Ok(Value::Null);
+            }
+            let ord = l.cmp_values(r).ok_or_else(|| BdbError::TypeMismatch {
+                expected: "comparable values".into(),
+                found: format!("{l} {op} {r}"),
+            })?;
+            let b = match op {
+                Eq => ord == Ordering::Equal,
+                Ne => ord != Ordering::Equal,
+                Lt => ord == Ordering::Less,
+                Le => ord != Ordering::Greater,
+                Gt => ord == Ordering::Greater,
+                Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (l, r) {
+                (Value::Int(a), Value::Int(b)) => {
+                    let v = match op {
+                        Add => a.wrapping_add(*b),
+                        Sub => a.wrapping_sub(*b),
+                        Mul => a.wrapping_mul(*b),
+                        Div => {
+                            if *b == 0 {
+                                return Ok(Value::Null);
+                            }
+                            a / b
+                        }
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Int(v))
+                }
+                _ => {
+                    let a = l.as_f64().ok_or_else(|| type_err(l, op, r))?;
+                    let b = r.as_f64().ok_or_else(|| type_err(l, op, r))?;
+                    let v = match op {
+                        Add => a + b,
+                        Sub => a - b,
+                        Mul => a * b,
+                        Div => {
+                            if b == 0.0 {
+                                return Ok(Value::Null);
+                            }
+                            a / b
+                        }
+                        _ => unreachable!(),
+                    };
+                    Ok(Value::Float(v))
+                }
+            }
+        }
+    }
+}
+
+fn type_err(l: &Value, op: BinOp, r: &Value) -> BdbError {
+    BdbError::TypeMismatch {
+        expected: "numeric operands".into(),
+        found: format!("{l} {op} {r}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_common::value::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::nullable("c", DataType::Int),
+        ])
+    }
+
+    fn row() -> Record {
+        vec![Value::Int(10), Value::Float(2.5), Value::Null]
+    }
+
+    #[test]
+    fn column_and_literal_eval() {
+        let s = schema();
+        let r = row();
+        assert_eq!(Expr::col("a").eval(&s, &r).unwrap(), Value::Int(10));
+        assert_eq!(Expr::lit(5i64).eval(&s, &r).unwrap(), Value::Int(5));
+        assert!(Expr::col("zz").eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let s = schema();
+        let r = row();
+        let e = Expr::binary(Expr::col("a"), BinOp::Add, Expr::lit(5i64));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(15));
+        let e = Expr::binary(Expr::col("a"), BinOp::Mul, Expr::col("b"));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let s = schema();
+        let r = row();
+        let e = Expr::binary(Expr::col("a"), BinOp::Div, Expr::lit(0i64));
+        assert!(e.eval(&s, &r).unwrap().is_null());
+        let e = Expr::binary(Expr::col("b"), BinOp::Div, Expr::lit(0.0));
+        assert!(e.eval(&s, &r).unwrap().is_null());
+    }
+
+    #[test]
+    fn comparisons_and_null_semantics() {
+        let s = schema();
+        let r = row();
+        let e = Expr::binary(Expr::col("a"), BinOp::Gt, Expr::lit(5i64));
+        assert_eq!(e.eval(&s, &r).unwrap(), Value::Bool(true));
+        // NULL comparison yields NULL, and the predicate filters it.
+        let e = Expr::binary(Expr::col("c"), BinOp::Eq, Expr::lit(1i64));
+        assert!(e.eval(&s, &r).unwrap().is_null());
+        assert!(!e.eval_predicate(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn logic_ops() {
+        let s = schema();
+        let r = row();
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        assert_eq!(
+            Expr::binary(t.clone(), BinOp::And, f.clone()).eval(&s, &r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::binary(t.clone(), BinOp::Or, f.clone()).eval(&s, &r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(Expr::Not(Box::new(t)).eval(&s, &r).unwrap(), Value::Bool(false));
+        assert!(Expr::Not(Box::new(Expr::lit(3i64))).eval(&s, &r).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_dedupes() {
+        let e = Expr::binary(
+            Expr::binary(Expr::col("a"), BinOp::Add, Expr::col("b")),
+            BinOp::Gt,
+            Expr::col("a"),
+        );
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        let s = schema();
+        let r = row();
+        let e = Expr::binary(Expr::col("a"), BinOp::Eq, Expr::lit("x"));
+        assert!(e.eval(&s, &r).is_err());
+    }
+}

@@ -1,0 +1,659 @@
+//! A recursive-descent parser for the SQL subset the benchmark workloads
+//! need: `SELECT` with projections and aggregates, one `JOIN ... ON`,
+//! `WHERE`, `GROUP BY`, `ORDER BY`, `LIMIT`.
+
+use crate::expr::{BinOp, Expr};
+use bdb_common::value::Value;
+use bdb_common::{BdbError, Result};
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(col)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// The display name used for derived output columns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`.
+    Star,
+    /// A scalar expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+    /// An aggregate call with an optional alias; `arg == None` means `*`.
+    Aggregate {
+        /// The function.
+        func: AggFunc,
+        /// The column argument; `None` for `COUNT(*)`.
+        arg: Option<String>,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// `JOIN table ON left = right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: String,
+    /// Join key from the left (FROM) side.
+    pub left_col: String,
+    /// Join key from the right (JOIN) side.
+    pub right_col: String,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// The select list.
+    pub projections: Vec<Projection>,
+    /// The FROM table.
+    pub from: String,
+    /// Optional single equi-join.
+    pub join: Option<JoinClause>,
+    /// Optional WHERE predicate.
+    pub filter: Option<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+    /// HAVING predicate over the aggregate output columns.
+    pub having: Option<Expr>,
+    /// ORDER BY (column, descending) pairs.
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str),
+}
+
+fn keyword_eq(t: &Token, kw: &str) -> bool {
+    matches!(t, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(BdbError::Format("unterminated string literal".into()));
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '(' => { tokens.push(Token::Symbol("(")); i += 1; }
+            ')' => { tokens.push(Token::Symbol(")")); i += 1; }
+            ',' => { tokens.push(Token::Symbol(",")); i += 1; }
+            '*' => { tokens.push(Token::Symbol("*")); i += 1; }
+            '+' => { tokens.push(Token::Symbol("+")); i += 1; }
+            '/' => { tokens.push(Token::Symbol("/")); i += 1; }
+            '=' => { tokens.push(Token::Symbol("=")); i += 1; }
+            '-' => {
+                // Negative literal or minus operator: leave to the grammar
+                // by always emitting the symbol.
+                tokens.push(Token::Symbol("-"));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token::Symbol("<="));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(BdbError::Format("unexpected '!'".into()));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let f: f64 = text
+                        .parse()
+                        .map_err(|_| BdbError::Format(format!("bad float {text}")))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n: i64 = text
+                        .parse()
+                        .map_err(|_| BdbError::Format(format!("bad int {text}")))?;
+                    tokens.push(Token::Int(n));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    // Qualified names keep the dot: `users.id`.
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(BdbError::Format(format!("unexpected character '{other}'")))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(ref t) if keyword_eq(t, kw) => Ok(()),
+            other => Err(BdbError::Format(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| keyword_eq(t, kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.accept_symbol(sym) {
+            Ok(())
+        } else {
+            Err(BdbError::Format(format!(
+                "expected '{sym}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(BdbError::Format(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStatement> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.accept_keyword("DISTINCT");
+        let projections = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.expect_ident()?;
+        let join = if self.accept_keyword("JOIN") {
+            let table = self.expect_ident()?;
+            self.expect_keyword("ON")?;
+            let left_col = self.expect_ident()?;
+            self.expect_symbol("=")?;
+            let right_col = self.expect_ident()?;
+            Some(JoinClause { table, left_col, right_col })
+        } else {
+            None
+        };
+        let filter = if self.accept_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expect_ident()?);
+                if !self.accept_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.accept_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.accept_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let col = self.expect_ident()?;
+                let desc = if self.accept_keyword("DESC") {
+                    true
+                } else {
+                    self.accept_keyword("ASC");
+                    false
+                };
+                order_by.push((col, desc));
+                if !self.accept_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.accept_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(BdbError::Format(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(t) = self.peek() {
+            return Err(BdbError::Format(format!("trailing tokens at {t:?}")));
+        }
+        Ok(SelectStatement {
+            distinct,
+            projections,
+            from,
+            join,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<Projection>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_projection()?);
+            if !self.accept_symbol(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_projection(&mut self) -> Result<Projection> {
+        if self.accept_symbol("*") {
+            return Ok(Projection::Star);
+        }
+        // Aggregate call?
+        if let Some(Token::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_uppercase().as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol("("))) {
+                    self.pos += 2; // consume name and '('
+                    let arg = if self.accept_symbol("*") {
+                        None
+                    } else {
+                        Some(self.expect_ident()?)
+                    };
+                    self.expect_symbol(")")?;
+                    let alias = self.parse_alias()?;
+                    return Ok(Projection::Aggregate { func, arg, alias });
+                }
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_alias()?;
+        Ok(Projection::Expr { expr, alias })
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>> {
+        if self.accept_keyword("AS") {
+            Ok(Some(self.expect_ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // Precedence climbing: OR < AND < comparison < additive < multiplicative.
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.accept_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.accept_keyword("AND") {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.accept_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Symbol("=")) => Some(BinOp::Eq),
+            Some(Token::Symbol("!=")) => Some(BinOp::Ne),
+            Some(Token::Symbol("<")) => Some(BinOp::Lt),
+            Some(Token::Symbol("<=")) => Some(BinOp::Le),
+            Some(Token::Symbol(">")) => Some(BinOp::Gt),
+            Some(Token::Symbol(">=")) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            Ok(Expr::binary(left, op, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol("+")) => BinOp::Add,
+                Some(Token::Symbol("-")) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol("*")) => BinOp::Mul,
+                Some(Token::Symbol("/")) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_primary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::Symbol("-")) => {
+                // Unary minus over a numeric primary.
+                match self.parse_primary()? {
+                    Expr::Literal(Value::Int(n)) => Ok(Expr::Literal(Value::Int(-n))),
+                    Expr::Literal(Value::Float(f)) => Ok(Expr::Literal(Value::Float(-f))),
+                    e => Ok(Expr::binary(Expr::lit(0i64), BinOp::Sub, e)),
+                }
+            }
+            Some(Token::Symbol("(")) => {
+                let e = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("true") {
+                    Ok(Expr::Literal(Value::Bool(true)))
+                } else if name.eq_ignore_ascii_case("false") {
+                    Ok(Expr::Literal(Value::Bool(false)))
+                } else if name.eq_ignore_ascii_case("null") {
+                    Ok(Expr::Literal(Value::Null))
+                } else {
+                    Ok(Expr::Column(name))
+                }
+            }
+            other => Err(BdbError::Format(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse a SQL string into a [`SelectStatement`].
+pub fn parse(input: &str) -> Result<SelectStatement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_star_select() {
+        let s = parse("SELECT * FROM t").unwrap();
+        assert_eq!(s.projections, vec![Projection::Star]);
+        assert_eq!(s.from, "t");
+        assert!(s.filter.is_none());
+    }
+
+    #[test]
+    fn parses_where_with_precedence() {
+        let s = parse("select a from t where a > 1 and b = 'x' or c < 2.5").unwrap();
+        // OR at the top.
+        match s.filter.unwrap() {
+            Expr::Binary { op: BinOp::Or, left, .. } => match *left {
+                Expr::Binary { op: BinOp::And, .. } => {}
+                other => panic!("expected AND under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_and_aliases() {
+        let s = parse("SELECT COUNT(*), SUM(x) AS total, city FROM t GROUP BY city").unwrap();
+        assert_eq!(s.projections.len(), 3);
+        assert_eq!(
+            s.projections[0],
+            Projection::Aggregate { func: AggFunc::Count, arg: None, alias: None }
+        );
+        assert_eq!(
+            s.projections[1],
+            Projection::Aggregate {
+                func: AggFunc::Sum,
+                arg: Some("x".into()),
+                alias: Some("total".into())
+            }
+        );
+        assert_eq!(s.group_by, vec!["city"]);
+    }
+
+    #[test]
+    fn parses_join_on_qualified_columns() {
+        let s = parse(
+            "SELECT users.id FROM users JOIN orders ON users.id = orders.user_id WHERE orders.total > 10",
+        )
+        .unwrap();
+        let j = s.join.unwrap();
+        assert_eq!(j.table, "orders");
+        assert_eq!(j.left_col, "users.id");
+        assert_eq!(j.right_col, "orders.user_id");
+    }
+
+    #[test]
+    fn parses_order_by_and_limit() {
+        let s = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10").unwrap();
+        assert_eq!(s.order_by, vec![("a".to_string(), true), ("b".to_string(), false)]);
+        assert_eq!(s.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_arithmetic_projection() {
+        let s = parse("SELECT price * quantity AS revenue FROM t").unwrap();
+        match &s.projections[0] {
+            Projection::Expr { expr: Expr::Binary { op: BinOp::Mul, .. }, alias } => {
+                assert_eq!(alias.as_deref(), Some("revenue"));
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_string_and_negative_literals() {
+        let s = parse("SELECT a FROM t WHERE name = 'bob' AND x > -5").unwrap();
+        let mut cols = Vec::new();
+        s.filter.unwrap().referenced_columns(&mut cols);
+        assert_eq!(cols, vec!["name".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn parses_not_and_parens() {
+        let s = parse("SELECT a FROM t WHERE NOT (a = 1)").unwrap();
+        assert!(matches!(s.filter.unwrap(), Expr::Not(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse("SELECT a FROM t extra junk ;").is_err());
+        assert!(parse("SELECT a FROM t WHERE name = 'unclosed").is_err());
+    }
+
+    #[test]
+    fn parses_distinct_and_having() {
+        let s = parse("SELECT DISTINCT city FROM t").unwrap();
+        assert!(s.distinct);
+        let s = parse("SELECT city, COUNT(*) AS n FROM t GROUP BY city HAVING n > 2").unwrap();
+        assert!(!s.distinct);
+        match s.having.unwrap() {
+            Expr::Binary { op: BinOp::Gt, .. } => {}
+            other => panic!("unexpected having {other:?}"),
+        }
+        // HAVING before ORDER BY.
+        let s = parse(
+            "SELECT city, COUNT(*) AS n FROM t GROUP BY city HAVING n >= 1 ORDER BY n DESC LIMIT 3",
+        )
+        .unwrap();
+        assert!(s.having.is_some());
+        assert_eq!(s.limit, Some(3));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select a from t where a = 1 order by a limit 1").is_ok());
+    }
+}

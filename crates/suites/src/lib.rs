@@ -1,0 +1,34 @@
+//! Mini-models of the surveyed benchmark suites, and the harnesses that
+//! regenerate the paper's Table 1 and Table 2.
+//!
+//! The paper's evaluation artifacts are two survey tables classifying ten
+//! benchmark efforts. This crate makes those classifications *executable*:
+//! each suite in [`catalog`] is a runnable configuration of the framework
+//! that generates data the way the original suite does (e.g. HiBench's
+//! random text writer vs BigDataBench's model-fitted generation) and runs
+//! that suite's representative workloads on the matching engine analogs.
+//!
+//! * [`descriptor`] — the classification vocabulary (scalable /
+//!   partially-scalable, un-/semi-/fully-controllable, un-/partially-/
+//!   considered) plus the `BenchmarkSuite` trait.
+//! * [`catalog`] — the ten surveyed suites (HiBench, GridMix, PigMix,
+//!   YCSB, the Pavlo performance benchmark, TPC-DS, BigBench, LinkBench,
+//!   CloudSuite, BigDataBench) **plus** `bdbench` itself, the framework
+//!   this paper proposes, which demonstrates the Section 5.1 extensions
+//!   (fully controllable velocity, veracity metrics).
+//! * [`table1`] — empirically measures each suite's 4V classification and
+//!   prints the Table 1 comparison (paper's cell vs measured cell).
+//! * [`table2`] — runs each suite's workloads and prints the Table 2
+//!   comparison (workload types, examples, stacks) with live metrics.
+
+pub mod catalog;
+pub mod descriptor;
+pub mod table1;
+pub mod table2;
+
+pub use catalog::all_suites;
+pub use descriptor::{
+    BenchmarkSuite, SuiteDescriptor, VelocityClass, VeracityClass, VolumeClass,
+};
+pub use table1::{measure_suite, MeasuredRow};
+pub use table2::run_suite_workloads;

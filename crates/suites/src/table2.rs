@@ -1,0 +1,145 @@
+//! The Table 2 harness: run every suite's workloads and classify them.
+//!
+//! Table 2 tabulates workload *types* (online services / offline
+//! analytics / real-time analytics), example workloads, and software
+//! stacks. The harness executes each suite's representative workloads on
+//! the matching engine analogs and derives the type cells from what
+//! actually ran, alongside live user-perceivable and architecture
+//! metrics.
+
+use crate::descriptor::BenchmarkSuite;
+use bdb_common::Result;
+use bdb_exec::reporter::{fmt_num, TableReporter};
+use bdb_workloads::{WorkloadCategory, WorkloadResult};
+
+/// Run one suite's workload set at the given scale.
+pub fn run_suite_workloads(
+    suite: &dyn BenchmarkSuite,
+    scale: u64,
+    seed: u64,
+) -> Result<Vec<WorkloadResult>> {
+    suite.run_workloads(scale, seed)
+}
+
+/// Categories observed in a set of results, in display order.
+pub fn observed_categories(results: &[WorkloadResult]) -> Vec<WorkloadCategory> {
+    let mut cats = Vec::new();
+    for order in [
+        WorkloadCategory::OnlineServices,
+        WorkloadCategory::OfflineAnalytics,
+        WorkloadCategory::RealTimeAnalytics,
+    ] {
+        if results.iter().any(|r| r.category == order) && !cats.contains(&order) {
+            cats.push(order);
+        }
+    }
+    cats
+}
+
+/// Regenerate Table 2: run every suite and render the comparison, with
+/// measured totals.
+pub fn render_table2(
+    suites: &[Box<dyn BenchmarkSuite>],
+    scale: u64,
+    seed: u64,
+) -> Result<(Vec<Vec<WorkloadResult>>, String)> {
+    let mut reporter = TableReporter::new(
+        "Table 2 - Comparison of benchmarking techniques (measured)",
+        &[
+            "Benchmark", "Workload types (measured)", "Workloads run", "Software stacks",
+            "total secs", "Mrops (geo)", "types match paper",
+        ],
+    );
+    let mut all_results = Vec::new();
+    for suite in suites {
+        let desc = suite.descriptor();
+        let results = run_suite_workloads(suite.as_ref(), scale, seed)?;
+        let cats = observed_categories(&results);
+        let cats_text = cats
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let total_secs: f64 = results.iter().map(|r| r.report.user.duration_secs).sum();
+        let geo_mrops = {
+            let logs: Vec<f64> = results
+                .iter()
+                .filter(|r| r.report.arch.mrops > 0.0)
+                .map(|r| r.report.arch.mrops.ln())
+                .collect();
+            if logs.is_empty() {
+                0.0
+            } else {
+                (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+            }
+        };
+        let types_match = cats == desc.workload_types;
+        reporter.add_row(&[
+            desc.name.to_string(),
+            cats_text,
+            results.len().to_string(),
+            desc.software_stacks.join(", "),
+            fmt_num(total_secs),
+            fmt_num(geo_mrops),
+            if types_match { "yes".into() } else { "NO".into() },
+        ]);
+        all_results.push(results);
+    }
+    let text = reporter.to_text();
+    Ok((all_results, text))
+}
+
+/// Render the per-workload detail table for one suite.
+pub fn render_workload_details(name: &str, results: &[WorkloadResult]) -> String {
+    let mut reporter = TableReporter::new(
+        &format!("{name} workloads"),
+        &["workload", "system", "category", "secs", "ops/s", "p99 us", "Mrops"],
+    );
+    for r in results {
+        reporter.add_row(&[
+            r.report.workload.clone(),
+            r.report.system.clone(),
+            r.category.to_string(),
+            fmt_num(r.report.user.duration_secs),
+            fmt_num(r.report.user.throughput_ops_per_sec),
+            fmt_num(r.report.user.latency_p99_us),
+            fmt_num(r.report.arch.mrops),
+        ]);
+    }
+    reporter.to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn observed_categories_order_and_dedupe() {
+        let results = catalog::GridMix.run_workloads(200, 1).unwrap();
+        let cats = observed_categories(&results);
+        assert_eq!(cats, vec![WorkloadCategory::OnlineServices]);
+    }
+
+    #[test]
+    fn hibench_covers_offline_analytics() {
+        let results = catalog::HiBench.run_workloads(300, 2).unwrap();
+        let cats = observed_categories(&results);
+        assert!(cats.contains(&WorkloadCategory::OfflineAnalytics));
+    }
+
+    #[test]
+    fn bigdatabench_covers_all_three_categories() {
+        let results = catalog::BigDataBench.run_workloads(300, 3).unwrap();
+        let cats = observed_categories(&results);
+        assert_eq!(cats.len(), 3, "categories: {cats:?}");
+    }
+
+    #[test]
+    fn detail_rendering_includes_each_workload() {
+        let results = catalog::Ycsb.run_workloads(200, 4).unwrap();
+        let text = render_workload_details("YCSB", &results);
+        assert!(text.contains("oltp/ycsb-A"));
+        assert!(text.contains("oltp/ycsb-E"));
+    }
+}

@@ -1,0 +1,344 @@
+//! The abstract operation taxonomy.
+//!
+//! "We divide operations into three categories according to the number of
+//! data sets processed by these operations: element operation, single-set
+//! operation, and double-set operation." Operations are pure data (serde-
+//! serialisable), so prescriptions are portable artifacts; parameters are
+//! column names, literals and patterns — never closures.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three operation categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperationKind {
+    /// Operates on individual elements (a record, a key).
+    Element,
+    /// Consumes one data set.
+    SingleSet,
+    /// Consumes two data sets.
+    DoubleSet,
+}
+
+/// A comparison operator inside a [`PredicateSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CompareOp {
+    /// SQL rendering of the operator.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        }
+    }
+}
+
+/// A literal in a predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalarSpec {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Text(String),
+}
+
+impl ScalarSpec {
+    /// SQL rendering of the literal.
+    pub fn sql(&self) -> String {
+        match self {
+            ScalarSpec::Int(i) => i.to_string(),
+            ScalarSpec::Float(f) => format!("{f:?}"),
+            ScalarSpec::Text(s) => format!("'{}'", s.replace('\'', "")),
+        }
+    }
+}
+
+/// A simple `column <op> literal` predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredicateSpec {
+    /// Column to test.
+    pub column: String,
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Literal to compare with.
+    pub value: ScalarSpec,
+}
+
+impl PredicateSpec {
+    /// SQL rendering of the predicate.
+    pub fn sql(&self) -> String {
+        format!("{} {} {}", self.column, self.op.sql(), self.value.sql())
+    }
+}
+
+/// An aggregate function specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggSpec {
+    /// Row count.
+    Count,
+    /// Sum of a column.
+    Sum,
+    /// Mean of a column.
+    Avg,
+    /// Minimum of a column.
+    Min,
+    /// Maximum of a column.
+    Max,
+}
+
+impl AggSpec {
+    /// SQL function name.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggSpec::Count => "COUNT",
+            AggSpec::Sum => "SUM",
+            AggSpec::Avg => "AVG",
+            AggSpec::Min => "MIN",
+            AggSpec::Max => "MAX",
+        }
+    }
+}
+
+/// An abstract, system-independent data processing operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operation {
+    // ---- element operations ----
+    /// Fetch one record by key (the paper's `get`).
+    Get {
+        /// Key to fetch.
+        key: String,
+    },
+    /// Store one record (the paper's `put`).
+    Put {
+        /// Key to store.
+        key: String,
+        /// Value payload.
+        value: String,
+    },
+    /// Remove one record (the paper's `delete`).
+    DeleteKey {
+        /// Key to remove.
+        key: String,
+    },
+    /// Overwrite one record's value (YCSB's `update`).
+    UpdateKey {
+        /// Key to update.
+        key: String,
+        /// New payload.
+        value: String,
+    },
+
+    // ---- single-set operations ----
+    /// Keep rows matching a predicate (the paper's `select`).
+    Select {
+        /// The predicate.
+        predicate: PredicateSpec,
+    },
+    /// Keep only the named columns.
+    Project {
+        /// Columns to keep.
+        columns: Vec<String>,
+    },
+    /// Total order by a column.
+    SortBy {
+        /// Sort column.
+        column: String,
+        /// Descending order when true.
+        descending: bool,
+    },
+    /// Grouped or global aggregation.
+    Aggregate {
+        /// The function.
+        function: AggSpec,
+        /// Aggregated column (`None` = `*`, only valid for `Count`).
+        column: Option<String>,
+        /// Grouping columns (empty = global).
+        group_by: Vec<String>,
+    },
+    /// Count rows.
+    Count,
+    /// Distinct values of a column.
+    Distinct {
+        /// Target column.
+        column: String,
+    },
+    /// The `k` largest rows by a column.
+    TopK {
+        /// Ranking column.
+        column: String,
+        /// How many rows to keep.
+        k: usize,
+    },
+    /// Ordered range scan of `limit` records from `start_key` (YCSB scan).
+    ScanRange {
+        /// First key of the range.
+        start_key: String,
+        /// Maximum records returned.
+        limit: usize,
+    },
+    /// Keep text records matching a pattern (micro-benchmark `grep`).
+    Grep {
+        /// Substring pattern.
+        pattern: String,
+    },
+    /// Count word frequencies over text (micro-benchmark `WordCount`).
+    WordCount,
+    /// Keyed tumbling-window aggregation over a timestamped stream.
+    WindowAggregate {
+        /// Window size in event-time milliseconds.
+        window_ms: u64,
+        /// The per-window fold.
+        function: AggSpec,
+    },
+
+    // ---- double-set operations ----
+    /// Inner equi-join of two sets.
+    Join {
+        /// Key column in the left set.
+        left_on: String,
+        /// Key column in the right set.
+        right_on: String,
+    },
+    /// Bag union of two sets with identical schemas.
+    Union,
+    /// Rows of the left set whose key also appears in the right set.
+    IntersectOn {
+        /// The key column compared across both sets.
+        column: String,
+    },
+}
+
+impl Operation {
+    /// The paper's category for this operation.
+    pub fn kind(&self) -> OperationKind {
+        use Operation::*;
+        match self {
+            Get { .. } | Put { .. } | DeleteKey { .. } | UpdateKey { .. } => {
+                OperationKind::Element
+            }
+            Select { .. } | Project { .. } | SortBy { .. } | Aggregate { .. } | Count
+            | Distinct { .. } | TopK { .. } | ScanRange { .. } | Grep { .. } | WordCount
+            | WindowAggregate { .. } => OperationKind::SingleSet,
+            Join { .. } | Union | IntersectOn { .. } => OperationKind::DoubleSet,
+        }
+    }
+
+    /// How many data-set inputs the operation takes (element operations
+    /// take the data set their element lives in).
+    pub fn arity(&self) -> usize {
+        match self.kind() {
+            OperationKind::Element | OperationKind::SingleSet => 1,
+            OperationKind::DoubleSet => 2,
+        }
+    }
+
+    /// A short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        use Operation::*;
+        match self {
+            Get { .. } => "get",
+            Put { .. } => "put",
+            DeleteKey { .. } => "delete",
+            UpdateKey { .. } => "update",
+            Select { .. } => "select",
+            Project { .. } => "project",
+            SortBy { .. } => "sort",
+            Aggregate { .. } => "aggregate",
+            Count => "count",
+            Distinct { .. } => "distinct",
+            TopK { .. } => "topk",
+            ScanRange { .. } => "scan",
+            Grep { .. } => "grep",
+            WordCount => "wordcount",
+            WindowAggregate { .. } => "window-aggregate",
+            Join { .. } => "join",
+            Union => "union",
+            IntersectOn { .. } => "intersect",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_the_paper() {
+        assert_eq!(Operation::Get { key: "k".into() }.kind(), OperationKind::Element);
+        assert_eq!(
+            Operation::Select {
+                predicate: PredicateSpec {
+                    column: "x".into(),
+                    op: CompareOp::Gt,
+                    value: ScalarSpec::Int(1),
+                }
+            }
+            .kind(),
+            OperationKind::SingleSet
+        );
+        assert_eq!(
+            Operation::Join { left_on: "a".into(), right_on: "b".into() }.kind(),
+            OperationKind::DoubleSet
+        );
+    }
+
+    #[test]
+    fn arity_follows_kind() {
+        assert_eq!(Operation::Count.arity(), 1);
+        assert_eq!(Operation::Union.arity(), 2);
+        assert_eq!(Operation::Put { key: "k".into(), value: "v".into() }.arity(), 1);
+    }
+
+    #[test]
+    fn predicate_renders_sql() {
+        let p = PredicateSpec {
+            column: "price".into(),
+            op: CompareOp::Ge,
+            value: ScalarSpec::Float(2.5),
+        };
+        assert_eq!(p.sql(), "price >= 2.5");
+        let p = PredicateSpec {
+            column: "city".into(),
+            op: CompareOp::Eq,
+            value: ScalarSpec::Text("o'brien town".into()),
+        };
+        assert_eq!(p.sql(), "city = 'obrien town'");
+    }
+
+    #[test]
+    fn operations_serialize_round_trip() {
+        let ops = vec![
+            Operation::WordCount,
+            Operation::TopK { column: "score".into(), k: 10 },
+            Operation::Join { left_on: "id".into(), right_on: "uid".into() },
+        ];
+        let json = serde_json::to_string(&ops).unwrap();
+        let back: Vec<Operation> = serde_json::from_str(&json).unwrap();
+        assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Operation::WordCount.name(), "wordcount");
+        assert_eq!(Operation::Union.name(), "union");
+    }
+}

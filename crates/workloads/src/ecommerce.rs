@@ -1,0 +1,323 @@
+//! E-commerce domain workloads: naive Bayes and collaborative filtering.
+//!
+//! Table 2 lists "collaborative filtering (CF), Naive Bayes" under
+//! BigDataBench's e-commerce domain and "Bayes classification" under
+//! HiBench. Naive Bayes classifies records into categories from
+//! discretised features with Laplace smoothing; collaborative filtering
+//! computes item-item cosine similarities from a user × item purchase
+//! matrix and produces top-N recommendations.
+
+use crate::{WorkloadCategory, WorkloadResult};
+use bdb_metrics::{MetricsCollector, OpCounts};
+use std::collections::BTreeMap;
+
+/// A labelled training/test record: discretised feature values + label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelledRecord {
+    /// Feature values, one per feature dimension.
+    pub features: Vec<u32>,
+    /// Class label.
+    pub label: u32,
+}
+
+/// A trained multinomial naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct NaiveBayesModel {
+    /// log P(class).
+    class_log_prior: BTreeMap<u32, f64>,
+    /// Per feature dimension: (class, value) → log P(value | class).
+    feature_log_prob: Vec<BTreeMap<(u32, u32), f64>>,
+    /// Distinct values per feature (for smoothing unseen values).
+    feature_cardinality: Vec<u64>,
+    /// Per class: count, for unseen-value smoothing denominators.
+    class_counts: BTreeMap<u32, u64>,
+}
+
+impl NaiveBayesModel {
+    /// Train with Laplace (+1) smoothing.
+    ///
+    /// # Panics
+    /// Panics on an empty training set or inconsistent feature arity.
+    pub fn train(records: &[LabelledRecord]) -> Self {
+        assert!(!records.is_empty(), "empty training set");
+        let dims = records[0].features.len();
+        assert!(records.iter().all(|r| r.features.len() == dims));
+        let n = records.len() as f64;
+        let mut class_counts: BTreeMap<u32, u64> = BTreeMap::new();
+        for r in records {
+            *class_counts.entry(r.label).or_insert(0) += 1;
+        }
+        let class_log_prior = class_counts
+            .iter()
+            .map(|(&c, &k)| (c, (k as f64 / n).ln()))
+            .collect();
+        let mut feature_log_prob = Vec::with_capacity(dims);
+        let mut feature_cardinality = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let mut value_counts: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+            let mut values: std::collections::BTreeSet<u32> = Default::default();
+            for r in records {
+                values.insert(r.features[d]);
+                *value_counts.entry((r.label, r.features[d])).or_insert(0) += 1;
+            }
+            let v = values.len() as f64;
+            let log_prob = value_counts
+                .into_iter()
+                .map(|((c, val), k)| {
+                    let class_n = class_counts[&c] as f64;
+                    ((c, val), ((k as f64 + 1.0) / (class_n + v)).ln())
+                })
+                .collect();
+            feature_log_prob.push(log_prob);
+            feature_cardinality.push(values.len() as u64);
+        }
+        Self { class_log_prior, feature_log_prob, feature_cardinality, class_counts }
+    }
+
+    /// Predict the most likely class for a feature vector.
+    pub fn predict(&self, features: &[u32]) -> u32 {
+        let mut best = (f64::NEG_INFINITY, 0u32);
+        for (&class, &prior) in &self.class_log_prior {
+            let mut score = prior;
+            for (d, &value) in features.iter().enumerate() {
+                score += self.feature_log_prob[d]
+                    .get(&(class, value))
+                    .copied()
+                    .unwrap_or_else(|| {
+                        // Unseen (class, value): pure smoothing mass.
+                        let class_n = self.class_counts[&class] as f64;
+                        (1.0 / (class_n + self.feature_cardinality[d] as f64)).ln()
+                    });
+            }
+            if score > best.0 {
+                best = (score, class);
+            }
+        }
+        best.1
+    }
+}
+
+/// Train on `train`, evaluate accuracy on `test`.
+pub fn naive_bayes_classify(
+    train: &[LabelledRecord],
+    test: &[LabelledRecord],
+) -> (f64, WorkloadResult) {
+    let collector = MetricsCollector::new();
+    let model = NaiveBayesModel::train(train);
+    let correct = test
+        .iter()
+        .filter(|r| model.predict(&r.features) == r.label)
+        .count();
+    let accuracy = correct as f64 / test.len().max(1) as f64;
+    let mut c = collector;
+    c.record_operations((train.len() + test.len()) as u64);
+    let user = c.finish();
+    let dims = train[0].features.len() as u64;
+    let classes = model.class_log_prior.len() as u64;
+    let ops = OpCounts {
+        record_ops: (train.len() as u64 * dims) + (test.len() as u64 * dims * classes),
+        float_ops: test.len() as u64 * dims * classes,
+    };
+    let result = WorkloadResult::assemble(
+        "ecommerce/naive-bayes",
+        "native",
+        WorkloadCategory::OfflineAnalytics,
+        user,
+        ops,
+        (train.len() + test.len()) as u64,
+    )
+    .with_detail("accuracy", accuracy);
+    (accuracy, result)
+}
+
+/// A purchase event: user bought item.
+pub type Purchase = (u32, u32);
+
+/// Item-based collaborative filtering.
+///
+/// Builds item co-occurrence vectors over users, computes cosine
+/// similarity between items, and recommends for each user the top-`n`
+/// items they have not bought, weighted by similarity to their basket.
+pub fn collaborative_filtering(
+    purchases: &[Purchase],
+    top_n: usize,
+) -> (BTreeMap<u32, Vec<u32>>, WorkloadResult) {
+    let collector = MetricsCollector::new();
+    // user → items, item → users.
+    let mut user_items: BTreeMap<u32, std::collections::BTreeSet<u32>> = BTreeMap::new();
+    let mut item_users: BTreeMap<u32, std::collections::BTreeSet<u32>> = BTreeMap::new();
+    for &(u, i) in purchases {
+        user_items.entry(u).or_default().insert(i);
+        item_users.entry(i).or_default().insert(u);
+    }
+    let items: Vec<u32> = item_users.keys().copied().collect();
+    // Cosine similarity over binary vectors:
+    // |A ∩ B| / sqrt(|A| · |B|).
+    let mut sim: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut float_ops = 0u64;
+    for (ai, &a) in items.iter().enumerate() {
+        for &b in &items[ai + 1..] {
+            let ua = &item_users[&a];
+            let ub = &item_users[&b];
+            let inter = ua.intersection(ub).count();
+            float_ops += 2;
+            if inter > 0 {
+                let s = inter as f64 / ((ua.len() * ub.len()) as f64).sqrt();
+                sim.insert((a, b), s);
+                sim.insert((b, a), s);
+            }
+        }
+    }
+    // Recommend per user.
+    let mut recommendations: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (&u, basket) in &user_items {
+        let mut scores: BTreeMap<u32, f64> = BTreeMap::new();
+        for &owned in basket {
+            for &cand in &items {
+                if basket.contains(&cand) {
+                    continue;
+                }
+                if let Some(&s) = sim.get(&(owned, cand)) {
+                    *scores.entry(cand).or_insert(0.0) += s;
+                    float_ops += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        recommendations.insert(u, ranked.into_iter().take(top_n).map(|(i, _)| i).collect());
+    }
+    let mut c = collector;
+    c.record_operations(purchases.len() as u64);
+    let user = c.finish();
+    let ops = OpCounts {
+        record_ops: purchases.len() as u64 + (items.len() * items.len()) as u64,
+        float_ops,
+    };
+    let result = WorkloadResult::assemble(
+        "ecommerce/collaborative-filtering",
+        "native",
+        WorkloadCategory::OfflineAnalytics,
+        user,
+        ops,
+        purchases.len() as u64,
+    )
+    .with_detail("items", items.len() as f64)
+    .with_detail("users", user_items.len() as f64);
+    (recommendations, result)
+}
+
+/// Generate a labelled data set where features genuinely predict the
+/// label (per-class value distributions differ), for accuracy tests.
+pub fn synthetic_labelled_data(
+    n: usize,
+    classes: u32,
+    dims: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<LabelledRecord> {
+    use bdb_common::prelude::*;
+    let tree = SeedTree::new(seed).child_named("nb-data");
+    (0..n)
+        .map(|i| {
+            let mut rng = tree.cell(i as u64);
+            let label = rng.next_bounded(classes as u64) as u32;
+            let features = (0..dims)
+                .map(|d| {
+                    if rng.next_f64() < noise {
+                        rng.next_bounded(classes as u64 * 2) as u32
+                    } else {
+                        // Signal: value correlated with label per dim.
+                        label * 2 + ((d as u32) & 1)
+                    }
+                })
+                .collect();
+            LabelledRecord { features, label }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_bayes_learns_signal() {
+        let data = synthetic_labelled_data(2000, 3, 4, 0.2, 1);
+        let (train, test) = data.split_at(1500);
+        let (accuracy, result) = naive_bayes_classify(train, test);
+        assert!(accuracy > 0.9, "accuracy {accuracy}");
+        assert_eq!(result.detail("accuracy"), Some(accuracy));
+    }
+
+    #[test]
+    fn naive_bayes_is_near_chance_on_pure_noise() {
+        let data = synthetic_labelled_data(2000, 4, 3, 1.0, 2);
+        let (train, test) = data.split_at(1500);
+        let (accuracy, _) = naive_bayes_classify(train, test);
+        assert!((0.1..0.45).contains(&accuracy), "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn naive_bayes_handles_unseen_values() {
+        let train = vec![
+            LabelledRecord { features: vec![0], label: 0 },
+            LabelledRecord { features: vec![1], label: 1 },
+        ];
+        let model = NaiveBayesModel::train(&train);
+        // Value 9 never seen: smoothing must not panic and must pick some
+        // class.
+        let p = model.predict(&[9]);
+        assert!(p == 0 || p == 1);
+    }
+
+    #[test]
+    fn cf_recommends_co_purchased_items() {
+        // Users 1 and 2 share item 10; user 2 also bought 20.
+        // User 1 should be recommended item 20.
+        let purchases = vec![(1, 10), (2, 10), (2, 20), (3, 30)];
+        let (recs, result) = collaborative_filtering(&purchases, 3);
+        assert_eq!(recs[&1], vec![20]);
+        // User 3's item co-occurs with nothing: no recommendations.
+        assert!(recs[&3].is_empty());
+        assert_eq!(result.detail("users"), Some(3.0));
+    }
+
+    #[test]
+    fn cf_does_not_recommend_owned_items() {
+        let purchases = vec![(1, 10), (1, 20), (2, 10), (2, 20), (2, 30)];
+        let (recs, _) = collaborative_filtering(&purchases, 5);
+        assert!(!recs[&1].contains(&10));
+        assert!(!recs[&1].contains(&20));
+        assert_eq!(recs[&1], vec![30]);
+    }
+
+    #[test]
+    fn cf_top_n_limits_output() {
+        let mut purchases = Vec::new();
+        // User 1 bought item 0; users 2..12 bought item 0 plus distinct items.
+        purchases.push((1, 0));
+        for u in 2..12u32 {
+            purchases.push((u, 0));
+            purchases.push((u, u * 100));
+        }
+        let (recs, _) = collaborative_filtering(&purchases, 3);
+        assert_eq!(recs[&1].len(), 3);
+    }
+
+    #[test]
+    fn cf_empty_input() {
+        let (recs, _) = collaborative_filtering(&[], 3);
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn naive_bayes_rejects_empty() {
+        let _ = NaiveBayesModel::train(&[]);
+    }
+}

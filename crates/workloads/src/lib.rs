@@ -1,0 +1,130 @@
+//! The workload implementations named by the paper's Table 2.
+//!
+//! Every example workload the survey attributes to the studied benchmark
+//! suites is implemented here, runnable against the workspace's engines:
+//!
+//! | Module | Workloads | Table 2 category |
+//! |---|---|---|
+//! | [`micro`] | sort, TeraSort-style sampled range-partition sort, WordCount, grep | offline analytics (HiBench/GridMix/BigDataBench micro) |
+//! | [`search`] | inverted index ("Nutch indexing" analog), PageRank | search engine domain |
+//! | [`social`] | k-means, connected components | social network domain |
+//! | [`ecommerce`] | naive Bayes, item-based collaborative filtering | e-commerce domain |
+//! | [`oltp`] | YCSB A–F analog operation mixes on the LSM store | online services / Cloud OLTP |
+//! | [`relational`] | Pavlo-benchmark tasks: load, selection, aggregation, join | real-time analytics |
+//! | [`streaming`] | windowed stream analytics at paced arrival rates | real-time analytics |
+//! | [`hybrid`] | Section 5.2 truly-hybrid mixed workload | mixed |
+//!
+//! The analytics kernels come in two bindings where Table 2's suites do:
+//! a native in-memory kernel and a MapReduce lowering — the *functional
+//! view* requires both to produce identical answers, which the tests
+//! assert.
+
+pub mod ecommerce;
+pub mod hybrid;
+pub mod micro;
+pub mod oltp;
+pub mod relational;
+pub mod search;
+pub mod social;
+pub mod streaming;
+
+use bdb_metrics::{CostModel, MetricReport, OpCounts, PowerModel, UserMetrics};
+use std::collections::BTreeMap;
+
+/// Table 2's three workload categories ("from the perspective of
+/// application users").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadCategory {
+    /// Response-delay sensitive services.
+    OnlineServices,
+    /// Complex, time-consuming computations on big data.
+    OfflineAnalytics,
+    /// Interactive analytics (relational queries, stream dashboards).
+    RealTimeAnalytics,
+}
+
+impl std::fmt::Display for WorkloadCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WorkloadCategory::OnlineServices => "online services",
+            WorkloadCategory::OfflineAnalytics => "offline analytics",
+            WorkloadCategory::RealTimeAnalytics => "real-time analytics",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The uniform result of running any workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Full metric report (user + architecture + energy + cost).
+    pub report: MetricReport,
+    /// Table 2 category.
+    pub category: WorkloadCategory,
+    /// Workload-specific scalar outputs (iterations, accuracy, …).
+    pub details: BTreeMap<String, f64>,
+}
+
+impl WorkloadResult {
+    /// Assemble a result from raw measurements with default energy/cost
+    /// models.
+    pub fn assemble(
+        workload: &str,
+        system: &str,
+        category: WorkloadCategory,
+        user: UserMetrics,
+        ops: OpCounts,
+        input_items: u64,
+    ) -> Self {
+        let report = MetricReport::assemble(
+            workload,
+            system,
+            user,
+            ops,
+            input_items,
+            &PowerModel::default(),
+            &CostModel::default(),
+            0.7,
+            std::thread::available_parallelism().map_or(4, |n| n.get()),
+        );
+        Self { report, category, details: BTreeMap::new() }
+    }
+
+    /// Attach a named detail value.
+    pub fn with_detail(mut self, key: &str, value: f64) -> Self {
+        self.details.insert(key.to_string(), value);
+        self
+    }
+
+    /// Read a detail value.
+    pub fn detail(&self, key: &str) -> Option<f64> {
+        self.details.get(key).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_display() {
+        assert_eq!(WorkloadCategory::OnlineServices.to_string(), "online services");
+        assert_eq!(WorkloadCategory::OfflineAnalytics.to_string(), "offline analytics");
+    }
+
+    #[test]
+    fn result_assembly_and_details() {
+        let r = WorkloadResult::assemble(
+            "micro/sort",
+            "native",
+            WorkloadCategory::OfflineAnalytics,
+            UserMetrics { duration_secs: 1.0, operations: 10, ..Default::default() },
+            OpCounts { record_ops: 100, float_ops: 0 },
+            10,
+        )
+        .with_detail("items", 10.0);
+        assert_eq!(r.report.workload, "micro/sort");
+        assert_eq!(r.detail("items"), Some(10.0));
+        assert_eq!(r.detail("missing"), None);
+    }
+}

@@ -1,0 +1,54 @@
+//! The Section 5.2 heterogeneous-platform study via the library API.
+//!
+//! Measures a compute-bound workload (k-means) and a data-bound workload
+//! (sort) on the baseline engines, projects both onto the modeled platform
+//! set, and answers the paper's two questions.
+//!
+//! ```text
+//! cargo run --release --example platform_study
+//! ```
+
+use bdbench::common::rng::{Rng, Xoshiro256};
+use bdbench::exec::reporter::{fmt_num, TableReporter};
+use bdbench::metrics::platform::{PlatformProfile, PlatformStudy};
+use bdbench::workloads::{micro, social};
+
+fn main() {
+    let mut rng = Xoshiro256::new(7);
+    let keys: Vec<u64> = (0..100_000).map(|_| rng.next_u64()).collect();
+    let (points, _) = social::gaussian_mixture(30_000, 5, 8, 2.0, 7);
+
+    let reports = vec![
+        micro::sort_native(&keys).1.report,
+        social::kmeans_native(&points, &social::KMeansConfig { k: 5, ..Default::default() }, 7)
+            .3
+            .report,
+    ];
+    let platforms = PlatformProfile::standard_set();
+    let study = PlatformStudy::run(&reports, &platforms, 0.8);
+
+    let mut table = TableReporter::new(
+        "Projected duration (s) / ops-per-joule",
+        &["workload", "Xeon", "Xeon+GPGPU", "Xeon+MIC", "Microserver"],
+    );
+    for row in &study.projections {
+        let mut cells = vec![row[0].workload.clone()];
+        for p in row {
+            cells.push(format!("{} / {}", fmt_num(p.duration_secs), fmt_num(p.ops_per_joule)));
+        }
+        table.add_row(&cells);
+    }
+    println!("{}", table.to_text());
+
+    for (wi, row) in study.projections.iter().enumerate() {
+        let (fastest, greenest) = study.best_for(wi);
+        println!(
+            "{:<16} fastest: {:<12} most energy-efficient: {}",
+            row[0].workload, fastest.platform, greenest.platform
+        );
+    }
+    match study.consistent_winner() {
+        Some(p) => println!("\nConsistent winner across all workloads: {p}"),
+        None => println!("\nNo platform wins both performance and energy everywhere — \nthe answer the paper expects for its question (1)."),
+    }
+}

@@ -1,0 +1,32 @@
+//! Quickstart: the five-step benchmarking process on one prescription.
+//!
+//! Runs Figure 1 end to end — planning, 4V data generation, test
+//! generation, execution on two different systems, and analysis — in a
+//! few lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bdbench::prelude::*;
+
+fn main() -> Result<()> {
+    // The User Interface Layer: pick a prescription from the repository,
+    // a data volume, and a target system.
+    for system in [SystemKind::Native, SystemKind::MapReduce] {
+        let spec = BenchmarkSpec::new("quickstart")
+            .with_prescription("micro/wordcount")
+            .with_system(system)
+            .with_scale(2_000)
+            .with_seed(42);
+
+        let run = Benchmark::new().run(&spec)?;
+
+        println!("=== micro/wordcount on {system} ===");
+        for phase in &run.phases {
+            println!("  {:<16} {:>10.3} ms", phase.phase.to_string(), phase.duration.as_secs_f64() * 1e3);
+        }
+        println!("{}", run.analysis);
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Search-engine domain scenario.
+//!
+//! Generates an LDA-modelled document corpus and an RMAT web graph, then
+//! runs the domain's workloads: inverted-index construction (native and
+//! MapReduce — the functional view requires identical indexes) and
+//! PageRank, and reports veracity of the synthetic corpus against the raw
+//! one.
+//!
+//! ```text
+//! cargo run --release --example search_engine
+//! ```
+
+use bdbench::datagen::corpus::RAW_TEXT_CORPUS;
+use bdbench::datagen::graph::RmatGenerator;
+use bdbench::datagen::text::lda::{LdaConfig, LdaModel};
+use bdbench::datagen::veracity;
+use bdbench::datagen::{DataGenerator, Dataset};
+use bdbench::mapreduce::JobConfig;
+use bdbench::prelude::*;
+use bdbench::workloads::search;
+
+fn main() -> Result<()> {
+    // --- Data generation (Figure 3): learn a dictionary + topic model
+    // from the raw corpus, then generate a larger synthetic corpus.
+    println!("training LDA on the raw corpus ...");
+    let model = LdaModel::train(&RAW_TEXT_CORPUS, LdaConfig::default(), 42)?;
+    for topic in 0..model.num_topics() {
+        println!("  topic {topic}: {}", model.top_words(topic, 6).join(" "));
+    }
+    let dataset = model.generate(7, &VolumeSpec::Items(3_000))?;
+    let (docs, vocab) = match &dataset {
+        Dataset::Text { docs, vocab } => (docs, vocab),
+        _ => unreachable!(),
+    };
+    println!(
+        "generated {} synthetic documents ({} bytes approx)",
+        docs.len(),
+        dataset.byte_size()
+    );
+
+    // Veracity of the synthetic corpus vs the raw one (Section 5.1).
+    let mut raw_vocab = Vocabulary::new();
+    let raw_docs: Vec<Document> = RAW_TEXT_CORPUS
+        .iter()
+        .map(|t| Document::from_text(t, &mut raw_vocab))
+        .collect();
+    let mut rng = Xoshiro256::new(1);
+    let report = veracity::text_veracity(&raw_docs, docs, vocab.len(), Some(&model), &mut rng);
+    for (name, score) in &report.metrics {
+        println!("  veracity {name}: {score:.4}");
+    }
+
+    // --- Workloads: index construction on both bindings.
+    let (native_index, native_result) = search::inverted_index_native(docs);
+    let (mr_index, mr_result) = search::inverted_index_mapreduce(docs, &JobConfig::default());
+    assert_eq!(native_index, mr_index, "functional view: indexes must match");
+    println!("\nindex build (native):     {}", native_result.report);
+    println!("index build (mapreduce):  {}", mr_result.report);
+
+    // --- PageRank over a generated web graph.
+    let graph = RmatGenerator::standard(8.0).generate_graph(3, 12);
+    let (ranks, iterations, pr_result) =
+        search::pagerank_native(&graph.to_csr(), &Default::default());
+    let mut top: Vec<usize> = (0..ranks.len()).collect();
+    top.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).unwrap());
+    println!("\npagerank: {} vertices, {iterations} iterations", ranks.len());
+    println!("  top pages: {:?}", &top[..5]);
+    println!("{}", pr_result.report);
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Social-network domain scenario.
+//!
+//! Fits an RMAT model to a real social graph (Zachary's karate club),
+//! generates a larger synthetic graph preserving its degree-distribution
+//! shape, runs connected components and k-means, and demonstrates the
+//! *update frequency* meaning of velocity with a controlled update
+//! stream.
+//!
+//! ```text
+//! cargo run --release --example social_network
+//! ```
+
+use bdbench::datagen::corpus::karate_club_graph;
+use bdbench::datagen::graph::{degree_distribution_distance, fit_rmat, ErdosRenyiGenerator};
+use bdbench::datagen::stream::{UpdateOp, UpdateStreamGenerator};
+use bdbench::kv::SharedLsm;
+use bdbench::prelude::*;
+use bdbench::workloads::social;
+
+fn main() -> Result<()> {
+    // --- Fit a graph model to the raw data (Figure 3 step 2).
+    let raw = karate_club_graph();
+    println!(
+        "raw graph: {} vertices, {} directed edges",
+        raw.num_vertices(),
+        raw.num_edges()
+    );
+    let fitted = fit_rmat(&raw, 7)?;
+    println!("fitted RMAT quadrants: a={:.2} b={:.2} c={:.2}", fitted.a, fitted.b, fitted.c);
+
+    // Scale up: 2^12 vertices with the same degree shape (the paper's
+    // "2^20 vertices" convention, shrunk for a laptop).
+    let synthetic = fitted.generate_graph(11, 12);
+    let er = ErdosRenyiGenerator {
+        edges_per_vertex: raw.num_edges() as f64 / raw.num_vertices() as f64,
+    }
+    .generate_graph(11, 1 << 12);
+    println!(
+        "degree-distribution JS vs raw: fitted={:.4}  erdos-renyi={:.4}",
+        degree_distribution_distance(&raw, &synthetic),
+        degree_distribution_distance(&raw, &er),
+    );
+
+    // --- Workloads: connected components + k-means.
+    let mut und = synthetic.clone();
+    for &(u, v) in synthetic.edges() {
+        und.add_edge(v, u);
+    }
+    let (labels, iters, cc_result) = social::connected_components(&und.to_csr());
+    let components: std::collections::BTreeSet<u32> = labels.iter().copied().collect();
+    println!(
+        "\nconnected components: {} components in {iters} iterations",
+        components.len()
+    );
+    println!("{}", cc_result.report);
+
+    let (points, _) = social::gaussian_mixture(5_000, 5, 8, 2.0, 3);
+    let (_, _, kmeans_iters, km_result) =
+        social::kmeans_native(&points, &social::KMeansConfig { k: 5, ..Default::default() }, 3);
+    println!("\nk-means: converged in {kmeans_iters} iterations");
+    println!("{}", km_result.report);
+
+    // --- Velocity as update frequency (Section 5.1): replay a 2k ops/sec
+    // social-graph update stream against the KV store.
+    let gen = UpdateStreamGenerator::new(2_000.0, 0.4, 0.4, 1_000)?;
+    let ops = gen.generate_ops(9, 10_000);
+    println!(
+        "\nupdate stream: target 2000 ops/s, generated at {:.0} ops/s",
+        UpdateStreamGenerator::measured_rate(&ops)
+    );
+    let store = SharedLsm::default();
+    for op in &ops {
+        match &op.op {
+            UpdateOp::Insert { key, value } | UpdateOp::Update { key, value } => {
+                store.put(key.to_be_bytes().to_vec(), value.to_le_bytes().to_vec());
+            }
+            UpdateOp::Delete { key } => store.delete(key.to_be_bytes().to_vec()),
+        }
+    }
+    let stats = store.stats();
+    println!(
+        "replayed {} ops into the store ({} flushes, {} compactions)",
+        stats.writes, stats.flushes, stats.compactions
+    );
+    Ok(())
+}

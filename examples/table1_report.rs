@@ -1,0 +1,22 @@
+//! Regenerate the paper's Table 1 (data generation techniques) from live
+//! measurements of every suite model.
+//!
+//! ```text
+//! cargo run --release --example table1_report
+//! ```
+
+use bdbench::suites::table1::render_table1;
+use bdbench::suites::all_suites;
+
+fn main() -> bdbench::common::Result<()> {
+    let suites = all_suites();
+    let (rows, text) = render_table1(&suites, 0xBD)?;
+    println!("{text}");
+    let matches = rows
+        .iter()
+        .zip(&suites)
+        .filter(|(r, s)| r.matches(&s.descriptor()))
+        .count();
+    println!("{matches}/{} measured rows match the paper's classification", rows.len());
+    Ok(())
+}

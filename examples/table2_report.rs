@@ -1,0 +1,19 @@
+//! Regenerate the paper's Table 2 (benchmarking techniques) by running
+//! every suite's representative workloads and tabulating what executed.
+//!
+//! ```text
+//! cargo run --release --example table2_report
+//! ```
+
+use bdbench::suites::all_suites;
+use bdbench::suites::table2::{render_table2, render_workload_details};
+
+fn main() -> bdbench::common::Result<()> {
+    let suites = all_suites();
+    let (all_results, text) = render_table2(&suites, 400, 0xBD)?;
+    println!("{text}");
+    for (suite, results) in suites.iter().zip(&all_results) {
+        println!("{}", render_workload_details(suite.descriptor().name, results));
+    }
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! The `bdbench` command-line interface.
+//!
+//! ```text
+//! bdbench list                         # prescriptions, generators, suites
+//! bdbench run <prescription> [opts]    # the five-step pipeline
+//!     --system <native|mapreduce|sql|kv|streaming>
+//!     --scale <items>  --seed <n>  --workers <n>  --rate <items/sec>
+//! bdbench table1 [--seed n]            # regenerate the paper's Table 1
+//! bdbench table2 [--scale n] [--seed n]# regenerate the paper's Table 2
+//! bdbench suite <name> [--scale n]     # run one surveyed suite's workloads
+//! ```
+
+use bdbench::core::layers::BenchmarkSpec;
+use bdbench::core::pipeline::Benchmark;
+use bdbench::core::registry::GeneratorRegistry;
+use bdbench::suites::table2::render_workload_details;
+use bdbench::suites::{all_suites, table1, table2};
+use bdbench::testgen::{PrescriptionRepository, SystemKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
+    );
+    std::process::exit(2)
+}
+
+/// Pull `--key value` options out of the argument list.
+fn parse_opts(args: &[String]) -> (Vec<&String>, std::collections::BTreeMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut opts = std::collections::BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+            opts.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    (positional, opts)
+}
+
+fn opt_u64(opts: &std::collections::BTreeMap<String, String>, key: &str, default: u64) -> u64 {
+    opts.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects an integer, got {v}");
+            usage()
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(rest),
+        "table1" => cmd_table1(rest),
+        "table2" => cmd_table2(rest),
+        "suite" => cmd_suite(rest),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_list() -> bdbench::common::Result<()> {
+    let repo = PrescriptionRepository::with_builtins();
+    println!("prescriptions:");
+    for name in repo.names() {
+        let p = repo.get(name)?;
+        println!("  {name:<36} {}", p.description);
+    }
+    println!("\ngenerators:");
+    for id in GeneratorRegistry::with_builtins().ids() {
+        println!("  {id}");
+    }
+    println!("\nsuites:");
+    for suite in all_suites() {
+        println!("  {}", suite.descriptor().name);
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
+    let (positional, opts) = parse_opts(args);
+    let Some(prescription) = positional.first() else { usage() };
+    let system = match opts.get("system").map(String::as_str) {
+        None | Some("native") => SystemKind::Native,
+        Some("mapreduce") => SystemKind::MapReduce,
+        Some("sql") => SystemKind::Sql,
+        Some("kv") => SystemKind::KeyValue,
+        Some("streaming") => SystemKind::Streaming,
+        Some(other) => {
+            eprintln!("unknown system {other}");
+            usage()
+        }
+    };
+    let mut spec = BenchmarkSpec::new("cli")
+        .with_prescription(prescription)
+        .with_system(system)
+        .with_seed(opt_u64(&opts, "seed", 42));
+    if let Some(scale) = opts.get("scale") {
+        spec = spec.with_scale(scale.parse().map_err(|_| {
+            bdbench::common::BdbError::InvalidConfig(format!("bad --scale {scale}"))
+        })?);
+    }
+    let workers = opt_u64(&opts, "workers", 1);
+    if workers > 1 {
+        spec = spec.with_generator_workers(workers as usize);
+    }
+    if let Some(rate) = opts.get("rate") {
+        spec = spec.with_target_rate(rate.parse().map_err(|_| {
+            bdbench::common::BdbError::InvalidConfig(format!("bad --rate {rate}"))
+        })?);
+    }
+    let run = Benchmark::new().run(&spec)?;
+    println!("== phases ==");
+    for phase in &run.phases {
+        println!(
+            "  {:<16} {:>10.3} ms",
+            phase.phase.to_string(),
+            phase.duration.as_secs_f64() * 1e3
+        );
+    }
+    if let Some((rate, err)) = run.generation_rate {
+        match err {
+            Some(e) => println!("generation rate: {rate:.0} items/s (target error {e:.3})"),
+            None => println!("generation rate: {rate:.0} items/s"),
+        }
+    }
+    println!("{}", run.analysis);
+    Ok(())
+}
+
+fn cmd_table1(args: &[String]) -> bdbench::common::Result<()> {
+    let (_, opts) = parse_opts(args);
+    let suites = all_suites();
+    let (rows, text) = table1::render_table1(&suites, opt_u64(&opts, "seed", 0xBD))?;
+    println!("{text}");
+    let matches = rows
+        .iter()
+        .zip(&suites)
+        .filter(|(r, s)| r.matches(&s.descriptor()))
+        .count();
+    println!("{matches}/{} rows match the paper's classification", rows.len());
+    Ok(())
+}
+
+fn cmd_table2(args: &[String]) -> bdbench::common::Result<()> {
+    let (_, opts) = parse_opts(args);
+    let suites = all_suites();
+    let (_, text) = table2::render_table2(
+        &suites,
+        opt_u64(&opts, "scale", 400),
+        opt_u64(&opts, "seed", 0xBD),
+    )?;
+    println!("{text}");
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> bdbench::common::Result<()> {
+    let (positional, opts) = parse_opts(args);
+    let Some(name) = positional.first() else { usage() };
+    let suites = all_suites();
+    let suite = suites
+        .iter()
+        .find(|s| s.descriptor().name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| bdbench::common::BdbError::NotFound(format!("suite {name}")))?;
+    let results = suite.run_workloads(
+        opt_u64(&opts, "scale", 400),
+        opt_u64(&opts, "seed", 0xBD),
+    )?;
+    println!("{}", render_workload_details(suite.descriptor().name, &results));
+    Ok(())
+}

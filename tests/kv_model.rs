@@ -1,0 +1,94 @@
+//! Model-based property test: the LSM store behaves exactly like a
+//! `BTreeMap` under arbitrary operation sequences, across flushes and
+//! compactions, with and without Bloom filters.
+
+use bdbench::kv::{LsmConfig, LsmStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Get(u16),
+    Scan(u16, u16, usize),
+    Flush,
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        3 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        1 => (any::<u16>(), any::<u16>(), 1usize..64).prop_map(|(a, b, l)| Op::Scan(a % 512, b % 512, l)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+fn key_bytes(k: u16) -> Vec<u8> {
+    format!("k{k:05}").into_bytes()
+}
+
+fn run_model(ops: &[Op], bloom_bits: usize) {
+    // A tiny memtable so the sequence crosses many flush boundaries.
+    let mut store = LsmStore::with_config(LsmConfig {
+        memtable_capacity_bytes: 96,
+        max_runs: 3,
+        bloom_bits_per_key: bloom_bits,
+    });
+    let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Put(k, v) => {
+                store.put(key_bytes(*k), vec![*v]);
+                model.insert(key_bytes(*k), vec![*v]);
+            }
+            Op::Delete(k) => {
+                store.delete(key_bytes(*k));
+                model.remove(&key_bytes(*k));
+            }
+            Op::Get(k) => {
+                assert_eq!(
+                    store.get(&key_bytes(*k)),
+                    model.get(&key_bytes(*k)).cloned(),
+                    "get({k}) diverged"
+                );
+            }
+            Op::Scan(a, b, limit) => {
+                let (lo, hi) = if a <= b { (*a, *b) } else { (*b, *a) };
+                let start = key_bytes(lo);
+                let end = key_bytes(hi);
+                let got = store.scan(&start, Some(&end), *limit);
+                let want: Vec<(Vec<u8>, Vec<u8>)> = model
+                    .range(start..end)
+                    .take(*limit)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect();
+                assert_eq!(got, want, "scan({lo}..{hi}, {limit}) diverged");
+            }
+            Op::Flush => store.flush(),
+            Op::Compact => store.compact(),
+        }
+    }
+    // Final full scan agrees with the model.
+    let all = store.scan(&[], None, usize::MAX);
+    let want: Vec<(Vec<u8>, Vec<u8>)> =
+        model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+    assert_eq!(all, want, "final state diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lsm_matches_btreemap_with_bloom(ops in prop::collection::vec(arb_op(), 0..200)) {
+        run_model(&ops, 10);
+    }
+
+    #[test]
+    fn lsm_matches_btreemap_without_bloom(ops in prop::collection::vec(arb_op(), 0..200)) {
+        run_model(&ops, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property test: the SQL engine against a direct reference evaluation
+//! over the same rows (filter → sort → limit, and grouped aggregation).
+
+use bdbench::common::record::Table;
+use bdbench::common::value::{DataType, Field, Schema, Value};
+use bdbench::sql::Engine;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn table_of(rows: &[(i64, i64)]) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("a", DataType::Int),
+        Field::new("g", DataType::Int),
+    ]);
+    let mut t = Table::new(schema);
+    for &(a, g) in rows {
+        t.push(vec![Value::Int(a), Value::Int(g)]).unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn filter_sort_limit_matches_reference(
+        rows in prop::collection::vec((-50i64..50, 0i64..5), 0..80),
+        threshold in -50i64..50,
+        limit in 0usize..20,
+    ) {
+        let mut engine = Engine::new();
+        engine.register("t", table_of(&rows)).unwrap();
+        let out = engine
+            .sql(&format!(
+                "SELECT a FROM t WHERE a > {threshold} ORDER BY a LIMIT {limit}"
+            ))
+            .unwrap();
+        let got: Vec<i64> = out.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        // Reference.
+        let mut want: Vec<i64> = rows
+            .iter()
+            .map(|&(a, _)| a)
+            .filter(|&a| a > threshold)
+            .collect();
+        want.sort_unstable();
+        want.truncate(limit);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grouped_count_and_sum_match_reference(
+        rows in prop::collection::vec((-50i64..50, 0i64..5), 0..80),
+    ) {
+        let mut engine = Engine::new();
+        engine.register("t", table_of(&rows)).unwrap();
+        let out = engine
+            .sql("SELECT g, COUNT(*) AS n, SUM(a) AS s FROM t GROUP BY g ORDER BY g")
+            .unwrap();
+        let mut want: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for &(a, g) in &rows {
+            let e = want.entry(g).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += a;
+        }
+        prop_assert_eq!(out.len(), want.len());
+        for row in out.rows() {
+            let g = row[0].as_i64().unwrap();
+            let (n, s) = want[&g];
+            prop_assert_eq!(row[1].as_i64().unwrap(), n);
+            prop_assert_eq!(row[2].as_i64().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn distinct_matches_reference(
+        rows in prop::collection::vec((-50i64..50, 0i64..5), 0..80),
+    ) {
+        let mut engine = Engine::new();
+        engine.register("t", table_of(&rows)).unwrap();
+        let out = engine.sql("SELECT DISTINCT g FROM t ORDER BY g").unwrap();
+        let mut want: Vec<i64> = rows.iter().map(|&(_, g)| g).collect();
+        want.sort_unstable();
+        want.dedup();
+        let got: Vec<i64> = out.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn having_matches_reference(
+        rows in prop::collection::vec((-50i64..50, 0i64..5), 0..80),
+        min_n in 1i64..6,
+    ) {
+        let mut engine = Engine::new();
+        engine.register("t", table_of(&rows)).unwrap();
+        let out = engine
+            .sql(&format!(
+                "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING n >= {min_n} ORDER BY g"
+            ))
+            .unwrap();
+        let mut counts: BTreeMap<i64, i64> = BTreeMap::new();
+        for &(_, g) in &rows {
+            *counts.entry(g).or_insert(0) += 1;
+        }
+        let want: Vec<(i64, i64)> = counts
+            .into_iter()
+            .filter(|&(_, n)| n >= min_n)
+            .collect();
+        let got: Vec<(i64, i64)> = out
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

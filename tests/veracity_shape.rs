@@ -1,0 +1,141 @@
+//! The headline reproduction shape (Section 5.1 + the ABL1 ablation):
+//! veracity-preserving generation is measurably closer to the raw data
+//! than naive generation, for every data type, and the veracity metrics
+//! order the generator families correctly.
+
+use bdbench::common::prelude::*;
+use bdbench::common::text::Document;
+use bdbench::datagen::corpus::{karate_club_graph, raw_retail_table, RAW_TEXT_CORPUS};
+use bdbench::datagen::graph::{fit_rmat, ErdosRenyiGenerator};
+use bdbench::datagen::table::TableGenerator;
+use bdbench::datagen::text::lda::{LdaConfig, LdaModel};
+use bdbench::datagen::text::markov::MarkovTextGenerator;
+use bdbench::datagen::text::NaiveTextGenerator;
+use bdbench::datagen::veracity;
+use bdbench::datagen::volume::VolumeSpec;
+use bdbench::datagen::{DataGenerator, Dataset};
+
+fn raw_docs() -> (Vec<Document>, Vocabulary) {
+    let mut vocab = Vocabulary::new();
+    let docs = RAW_TEXT_CORPUS
+        .iter()
+        .map(|t| Document::from_text(t, &mut vocab))
+        .collect();
+    (docs, vocab)
+}
+
+fn docs_of(gen: &dyn DataGenerator, seed: u64, n: u64) -> Vec<Document> {
+    match gen.generate(seed, &VolumeSpec::Items(n)).unwrap() {
+        Dataset::Text { docs, .. } => docs,
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn text_generators_order_by_model_power() {
+    // LDA (topic + word structure) < Markov (word structure) < naive
+    // (nothing) in divergence from the raw corpus, measured with the full
+    // word+topic metric set.
+    let (raw, vocab) = raw_docs();
+    let lda = LdaModel::train(
+        &RAW_TEXT_CORPUS,
+        LdaConfig { iterations: 80, ..Default::default() },
+        42,
+    )
+    .unwrap();
+    let markov = MarkovTextGenerator::train(&RAW_TEXT_CORPUS).unwrap();
+    let naive = NaiveTextGenerator::from_corpus(&RAW_TEXT_CORPUS);
+    let mut rng = Xoshiro256::new(1);
+    let mut score = |g: &dyn DataGenerator| -> f64 {
+        let synth = docs_of(g, 9, 250);
+        veracity::text_veracity(&raw, &synth, vocab.len(), Some(&lda), &mut rng)
+            .get("word_freq_js")
+            .unwrap()
+    };
+    let (s_lda, s_markov, s_naive) = (score(&lda), score(&markov), score(&naive));
+    assert!(
+        s_lda < s_naive && s_markov < s_naive,
+        "model-based must beat naive: lda={s_lda:.4} markov={s_markov:.4} naive={s_naive:.4}"
+    );
+    // And topic structure separates LDA from both.
+    let mut topic_score = |g: &dyn DataGenerator| -> f64 {
+        let synth = docs_of(g, 9, 250);
+        veracity::text_veracity(&raw, &synth, vocab.len(), Some(&lda), &mut rng)
+            .get("topic_dist_js")
+            .unwrap()
+    };
+    let (t_lda, t_naive) = (topic_score(&lda), topic_score(&naive));
+    assert!(
+        t_lda < t_naive,
+        "topic metric: lda={t_lda:.4} vs naive={t_naive:.4}"
+    );
+}
+
+#[test]
+fn table_fitting_beats_naive_on_every_shared_column_family() {
+    let raw = raw_retail_table();
+    let fitted = TableGenerator::fit("retail", &raw).unwrap();
+    let naive = TableGenerator::naive("retail", &raw).unwrap();
+    let vf = veracity::table_veracity(&raw, &fitted.generate_shard(3, 0, 512)).unwrap();
+    let vn = veracity::table_veracity(&raw, &naive.generate_shard(3, 0, 512)).unwrap();
+    assert!(vf.overall() < vn.overall());
+    // The categorical product column is where the gap is biggest.
+    let f_prod = vf.get("product_js").unwrap();
+    let n_prod = vn.get("product_js").unwrap();
+    assert!(f_prod < n_prod * 0.5, "product: fitted {f_prod:.4} vs naive {n_prod:.4}");
+}
+
+#[test]
+fn graph_fit_recovers_hub_structure() {
+    let raw = karate_club_graph();
+    let fitted = fit_rmat(&raw, 5).unwrap();
+    let er = ErdosRenyiGenerator {
+        edges_per_vertex: raw.num_edges() as f64 / raw.num_vertices() as f64,
+    };
+    // Hub concentration: share of edges on the top-10% vertices.
+    let hub = bdbench::datagen::graph::hub_concentration;
+    let target = hub(&raw);
+    let mut fit_gap = 0.0;
+    let mut er_gap = 0.0;
+    for s in 0..5 {
+        fit_gap += (hub(&fitted.generate_graph(s, 6)) - target).abs();
+        er_gap += (hub(&er.generate_graph(s, 64)) - target).abs();
+    }
+    assert!(
+        fit_gap < er_gap,
+        "fitted gap {fit_gap:.4} vs ER gap {er_gap:.4}"
+    );
+}
+
+#[test]
+fn veracity_metrics_satisfy_identity_of_indiscernibles() {
+    // Comparing a data set against itself scores (near) zero for every
+    // data type — the metric sanity requirement of Section 5.1.
+    let (raw, vocab) = raw_docs();
+    let mut rng = Xoshiro256::new(2);
+    assert!(veracity::text_veracity(&raw, &raw, vocab.len(), None, &mut rng).overall() < 1e-9);
+    let table = raw_retail_table();
+    assert!(veracity::table_veracity(&table, &table).unwrap().overall() < 1e-9);
+    let g = karate_club_graph();
+    assert!(veracity::graph_veracity(&g, &g).overall() < 1e-9);
+}
+
+#[test]
+fn sampling_down_preserves_categorical_shape_better_than_head_take() {
+    // The volume tools' stratified sampler is the veracity-safe scaler.
+    use bdbench::datagen::volume::stratified_sample;
+    let raw = raw_retail_table();
+    let mut rng = Xoshiro256::new(4);
+    let sampled = stratified_sample(&raw, "product", 0.25, &mut rng).unwrap();
+    // Head-take: first 25% of rows (timestamp-ordered, seasonal bias).
+    let head = bdbench::common::record::Table::from_rows(
+        raw.schema().clone(),
+        raw.rows()[..raw.len() / 4].to_vec(),
+    )
+    .unwrap();
+    let v_sampled = veracity::table_veracity(&raw, &sampled).unwrap();
+    let v_head = veracity::table_veracity(&raw, &head).unwrap();
+    let s = v_sampled.get("product_js").unwrap();
+    let h = v_head.get("product_js").unwrap();
+    assert!(s <= h + 1e-9, "stratified {s:.4} vs head {h:.4}");
+}
