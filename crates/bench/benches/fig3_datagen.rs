@@ -71,8 +71,51 @@ fn report() {
     println!("Shape: every generator family sustains its rate as volume grows\n(scalable volume, Figure 3 step 3).");
 }
 
+/// Thread-scaling report: the BDGS-style parallel deployment lever.
+/// Prints achieved items/sec and speedup vs one worker for the table and
+/// stream generators at 1/2/4/N workers (N = available parallelism).
+fn thread_scaling_report() {
+    let n_auto = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut workers: Vec<usize> = vec![1, 2, 4];
+    if !workers.contains(&n_auto) {
+        workers.push(n_auto);
+    }
+    let table_gen = TableGenerator::fit("retail", &raw_retail_table()).expect("fits");
+    let stream_gen = PoissonArrivals::new(10_000.0, 64).expect("valid");
+    let cases: Vec<(&str, &dyn DataGenerator, u64)> = vec![
+        ("table/retail-fitted", &table_gen, 1_000_000),
+        ("stream/poisson", &stream_gen, 2_000_000),
+    ];
+    let mut report = TableReporter::new(
+        "Parallel generation scaling (items/sec by workers)",
+        &["generator", "items", "workers", "items/s", "speedup"],
+    );
+    for (name, gen, items) in cases {
+        let mut base_rate = None;
+        for &w in &workers {
+            let t0 = Instant::now();
+            let d = gen
+                .generate_parallel(3, &VolumeSpec::Items(items), w)
+                .expect("generates");
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            let rate = d.item_count() as f64 / secs;
+            let base = *base_rate.get_or_insert(rate);
+            report.add_row(&[
+                name.to_string(),
+                items.to_string(),
+                w.to_string(),
+                fmt_num(rate),
+                format!("{:.2}x", rate / base),
+            ]);
+        }
+    }
+    println!("{}", report.to_text());
+    println!("Shape: sharded generation scales with workers while staying\nbyte-identical to the sequential run (deterministic PDGF sharding).");
+}
+
 fn bench(c: &mut Criterion) {
     report();
+    thread_scaling_report();
     let mut group = c.benchmark_group("fig3_generators");
     for (i, gen) in generators().into_iter().enumerate() {
         // Index prefix keeps ids unique (two RMAT variants share a name).
@@ -80,6 +123,44 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new(name, 10_000u64), &gen, |b, gen| {
             b.iter(|| black_box(gen.generate(3, &VolumeSpec::Items(10_000)).expect("generates")));
         });
+    }
+    group.finish();
+    // Thread-scaling bench: table + stream generation across worker counts.
+    let mut group = c.benchmark_group("fig3_parallel_scaling");
+    let table_gen = TableGenerator::fit("retail", &raw_retail_table()).expect("fits");
+    let stream_gen = PoissonArrivals::new(10_000.0, 64).expect("valid");
+    let n_auto = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut worker_counts = vec![1usize, 2, 4];
+    if !worker_counts.contains(&n_auto) {
+        worker_counts.push(n_auto);
+    }
+    for &w in &worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new("table_100k", w),
+            &w,
+            |b, &w| {
+                b.iter(|| {
+                    black_box(
+                        table_gen
+                            .generate_parallel(3, &VolumeSpec::Items(100_000), w)
+                            .expect("generates"),
+                    )
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stream_200k", w),
+            &w,
+            |b, &w| {
+                b.iter(|| {
+                    black_box(
+                        stream_gen
+                            .generate_parallel(3, &VolumeSpec::Items(200_000), w)
+                            .expect("generates"),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

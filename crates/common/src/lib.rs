@@ -7,7 +7,9 @@
 //! engine ([`value`], [`record`]), graph and text containers ([`graph`],
 //! [`text`]), and the measurement primitives (histograms in [`histogram`],
 //! divergence and hypothesis-test statistics in [`stats`]) that back both the
-//! metrics layer and the paper's Section 5.1 *veracity metrics*.
+//! metrics layer and the paper's Section 5.1 *veracity metrics*. The
+//! std-only worker pool in [`pool`] gives the generators their BDGS-style
+//! parallel, deterministic shard dispatch.
 //!
 //! Everything here is deterministic given a seed: the benchmark framework's
 //! credo (following PDGF, which the paper cites for BigBench's table
@@ -19,6 +21,7 @@ pub mod event;
 pub mod error;
 pub mod graph;
 pub mod histogram;
+pub mod pool;
 pub mod record;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,248 @@
+//! A scoped, chunk-dispatching worker pool built on `std::thread::scope`.
+//!
+//! The data generators need BDGS/PDGF-style parallelism: N workers produce
+//! disjoint slices of one logical data set, and the concatenation of the
+//! slices — in slice order — must equal a sequential run of the same seed.
+//! The pool therefore separates *scheduling* from *merging*: chunks are
+//! handed to whichever worker is free (an atomic cursor, so a slow chunk
+//! never stalls the others), but results are always returned in chunk-index
+//! order, making the output independent of thread timing.
+//!
+//! No external crates: the registry is offline, so this mirrors the
+//! `std::thread::scope` pattern already used by `bdb-mapreduce`'s runtime
+//! instead of pulling in rayon. Worker count `0` means "use
+//! [`std::thread::available_parallelism`]" everywhere.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a requested worker count: `0` = available parallelism.
+pub fn effective_workers(workers: usize) -> usize {
+    if workers > 0 {
+        workers
+    } else {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    }
+}
+
+/// One contiguous slice of a logical item range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Position of this chunk in the merged output.
+    pub index: usize,
+    /// First item of the chunk.
+    pub offset: u64,
+    /// Number of items in the chunk.
+    pub len: u64,
+}
+
+/// Split `total` items into `parts` contiguous chunks of near-equal size
+/// (the first `total % parts` chunks get one extra item). Empty chunks are
+/// never emitted; fewer than `parts` chunks are returned when
+/// `total < parts`.
+pub fn split_even(total: u64, parts: usize) -> Vec<Chunk> {
+    let parts = parts.max(1) as u64;
+    let base = total / parts;
+    let extra = total % parts;
+    let mut chunks = Vec::new();
+    let mut offset = 0;
+    for i in 0..parts {
+        let len = base + u64::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        chunks.push(Chunk { index: chunks.len(), offset, len });
+        offset += len;
+    }
+    chunks
+}
+
+/// Split `total` items into chunks of at most `chunk_size` items.
+pub fn chunk_ranges(total: u64, chunk_size: u64) -> Vec<Chunk> {
+    let chunk_size = chunk_size.max(1);
+    let mut chunks = Vec::with_capacity((total / chunk_size + 1) as usize);
+    let mut offset = 0;
+    while offset < total {
+        let len = chunk_size.min(total - offset);
+        chunks.push(Chunk { index: chunks.len(), offset, len });
+        offset += len;
+    }
+    chunks
+}
+
+/// Run `f` over every chunk on `workers` threads (0 = available
+/// parallelism) and return the results **in chunk-index order**,
+/// independent of which worker ran which chunk.
+///
+/// Chunks are dispatched through a shared atomic cursor, so load imbalance
+/// between chunks is absorbed by whichever workers finish early.
+pub fn par_map_chunks<R, F>(workers: usize, chunks: Vec<Chunk>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Chunk) -> R + Sync,
+{
+    let workers = effective_workers(workers).min(chunks.len().max(1));
+    if workers <= 1 || chunks.len() <= 1 {
+        return chunks.into_iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..chunks.len()).map(|_| None).collect());
+    let chunks = &chunks;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= chunks.len() {
+                        break;
+                    }
+                    let out = f(chunks[i]);
+                    slots.lock().expect("pool slots poisoned")[i] = Some(out);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+    slots
+        .into_inner()
+        .expect("pool slots poisoned")
+        .into_iter()
+        .map(|s| s.expect("every chunk produced a result"))
+        .collect()
+}
+
+/// Map `f` over `items` on `workers` threads, preserving input order in
+/// the output. Convenience wrapper for task lists that are not ranges.
+pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = effective_workers(workers).min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Slot items behind Options so workers can take them by index.
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+    let cells = &cells;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let item = cells[i]
+                        .lock()
+                        .expect("pool item poisoned")
+                        .take()
+                        .expect("item taken once");
+                    let out = f(item);
+                    slots.lock().expect("pool slots poisoned")[i] = Some(out);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+    slots
+        .into_inner()
+        .expect("pool slots poisoned")
+        .into_iter()
+        .map(|s| s.expect("every item produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_workers_resolves_zero() {
+        assert!(effective_workers(0) >= 1);
+        assert_eq!(effective_workers(3), 3);
+    }
+
+    #[test]
+    fn split_even_partitions_exactly() {
+        let chunks = split_even(10, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(
+            chunks.iter().map(|c| (c.offset, c.len)).collect::<Vec<_>>(),
+            vec![(0, 4), (4, 3), (7, 3)]
+        );
+        let total: u64 = chunks.iter().map(|c| c.len).sum();
+        assert_eq!(total, 10);
+        // Fewer items than parts: no empty chunks.
+        assert_eq!(split_even(2, 8).len(), 2);
+        assert!(split_even(0, 4).is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_covers_total() {
+        let chunks = chunk_ranges(10, 4);
+        assert_eq!(
+            chunks.iter().map(|c| (c.offset, c.len)).collect::<Vec<_>>(),
+            vec![(0, 4), (4, 4), (8, 2)]
+        );
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert_eq!(chunk_ranges(5, 0).len(), 5); // clamped to 1
+    }
+
+    #[test]
+    fn par_map_chunks_merges_in_index_order() {
+        for workers in [1, 2, 4, 0] {
+            let chunks = chunk_ranges(1000, 37);
+            let got = par_map_chunks(workers, chunks.clone(), |c| {
+                (c.offset..c.offset + c.len).collect::<Vec<u64>>()
+            });
+            let flat: Vec<u64> = got.into_iter().flatten().collect();
+            assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_is_deterministic_under_imbalance() {
+        // Uneven per-chunk work must not perturb merge order.
+        let chunks = split_even(64, 16);
+        let run = || {
+            par_map_chunks(4, chunks.clone(), |c| {
+                if c.index % 3 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                c.offset
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let got = par_map(3, items, |x| x * 2);
+        assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate sizes.
+        assert!(par_map(4, Vec::<u32>::new(), |x| x).is_empty());
+        assert_eq!(par_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pool_actually_runs_on_multiple_threads() {
+        use std::collections::BTreeSet;
+        let ids = par_map_chunks(4, split_even(64, 64), |_c| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            format!("{:?}", std::thread::current().id())
+        });
+        let distinct: BTreeSet<&String> = ids.iter().collect();
+        assert!(distinct.len() > 1, "expected multiple worker threads");
+    }
+}

@@ -69,9 +69,10 @@ impl BenchmarkSpec {
         self
     }
 
-    /// Deploy N parallel data generators.
+    /// Deploy N parallel data generators (0 = available parallelism,
+    /// 1 = sequential).
     pub fn with_generator_workers(mut self, workers: usize) -> Self {
-        self.generator_workers = workers.max(1);
+        self.generator_workers = workers;
         self
     }
 

@@ -6,10 +6,11 @@
 //! analysis text is rendered by the Execution Layer's reporter.
 
 use crate::layers::{BenchmarkSpec, ExecutionLayer, FunctionLayer};
-use bdb_common::{BdbError, Result};
+use bdb_common::{pool, BdbError, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
-use bdb_datagen::Dataset;
+use bdb_datagen::{merge_datasets, Dataset};
+use bdb_metrics::GenerationMetrics;
 use bdb_exec::reporter::{fmt_num, TableReporter};
 use bdb_mapreduce::JobConfig;
 use bdb_testgen::bind::{MapReduceBinding, PatternExecutor, SqlBinding};
@@ -68,6 +69,9 @@ pub struct BenchmarkRun {
     pub data_summary: Vec<(String, String, usize, usize)>,
     /// Achieved generation rate (items/sec) and its error vs target.
     pub generation_rate: Option<(f64, Option<f64>)>,
+    /// Generation throughput across all datasets of the run (items/s,
+    /// bytes/s, workers used); `None` only when the spec generated no data.
+    pub generation: Option<GenerationMetrics>,
     /// Workload results from the execution step.
     pub results: Vec<WorkloadResult>,
     /// The rendered analysis table.
@@ -112,22 +116,50 @@ impl Benchmark {
         let mut datasets: BTreeMap<String, Dataset> = BTreeMap::new();
         let mut data_summary = Vec::new();
         let mut generation_rate = None;
+        let mut generation: Option<GenerationMetrics> = None;
+        // The spec's worker knob wins; otherwise the exec-layer system
+        // config decides (its default, 1, means sequential; 0 means
+        // available parallelism).
+        let workers = pool::effective_workers(if spec.generator_workers != 1 {
+            spec.generator_workers
+        } else {
+            self.execution_layer.system_config.generator_workers
+        });
         for (i, data_spec) in prescription.data.iter().enumerate() {
             let generator = self.function_layer.generators.build(&data_spec.generator)?;
             let items = spec.scale.unwrap_or(data_spec.items);
             let seed = spec.seed.wrapping_add(i as u64);
-            let dataset = if spec.target_rate.is_some() || spec.generator_workers > 1 {
-                let mut controller = VelocityController::new(spec.generator_workers)?
-                    .with_chunk_items((items / 8).max(16));
-                if let Some(rate) = spec.target_rate {
-                    controller = controller.with_target_rate(rate);
-                }
+            let gen_started = Instant::now();
+            let dataset = if let Some(rate) = spec.target_rate {
+                // Rate-throttled generation needs the velocity controller's
+                // pacing loop; plain parallel generation goes through the
+                // deterministic sharded path below instead.
+                let controller = VelocityController::new(workers)?
+                    .with_chunk_items((items / 8).max(16))
+                    .with_target_rate(rate);
                 let outcome = controller.run(generator.as_ref(), seed, items)?;
                 generation_rate = Some((outcome.achieved_rate, outcome.rate_error()));
                 merge_datasets(outcome.datasets)?
+            } else if workers > 1 {
+                // Sharded parallel generation: byte-identical to the
+                // sequential path for shardable generators.
+                generator.generate_parallel(seed, &VolumeSpec::Items(items), workers)?
             } else {
                 generator.generate(seed, &VolumeSpec::Items(items))?
             };
+            let gm = GenerationMetrics::measure(
+                dataset.item_count() as u64,
+                dataset.byte_size() as u64,
+                gen_started.elapsed(),
+                workers,
+            );
+            if spec.target_rate.is_none() && workers > 1 {
+                generation_rate = Some((gm.items_per_sec(), None));
+            }
+            match &mut generation {
+                Some(total) => total.merge(&gm),
+                None => generation = Some(gm),
+            }
             data_summary.push((
                 data_spec.name.clone(),
                 dataset.kind().to_string(),
@@ -150,7 +182,7 @@ impl Benchmark {
 
         // ---- 5. Analysis & evaluation ----
         let t0 = Instant::now();
-        let analysis = render_analysis(&spec.name, &results, &data_summary);
+        let analysis = render_analysis(&spec.name, &results, &data_summary, generation.as_ref());
         phases.push(PhaseTiming { phase: Phase::Analysis, duration: t0.elapsed() });
 
         Ok(BenchmarkRun {
@@ -158,6 +190,7 @@ impl Benchmark {
             phases,
             data_summary,
             generation_rate,
+            generation,
             results,
             analysis,
         })
@@ -360,40 +393,11 @@ fn expect_text_with_vocab(
         .ok_or_else(|| BdbError::Execution("prescription needs a text data set".into()))
 }
 
-fn merge_datasets(mut parts: Vec<Dataset>) -> Result<Dataset> {
-    let first = parts
-        .drain(..1)
-        .next()
-        .ok_or_else(|| BdbError::DataGen("no data generated".into()))?;
-    parts.into_iter().try_fold(first, |acc, part| {
-        Ok(match (acc, part) {
-            (Dataset::Text { mut docs, vocab }, Dataset::Text { docs: d2, .. }) => {
-                docs.extend(d2);
-                Dataset::Text { docs, vocab }
-            }
-            (Dataset::Table(mut t), Dataset::Table(t2)) => {
-                t.append(t2)?;
-                Dataset::Table(t)
-            }
-            (Dataset::Graph(mut g), Dataset::Graph(g2)) => {
-                for &(u, v) in g2.edges() {
-                    g.add_edge(u, v);
-                }
-                Dataset::Graph(g)
-            }
-            (Dataset::Stream(mut e), Dataset::Stream(e2)) => {
-                e.extend(e2);
-                Dataset::Stream(e)
-            }
-            _ => return Err(BdbError::DataGen("mixed dataset kinds in merge".into())),
-        })
-    })
-}
-
 fn render_analysis(
     name: &str,
     results: &[WorkloadResult],
     data_summary: &[(String, String, usize, usize)],
+    generation: Option<&GenerationMetrics>,
 ) -> String {
     let mut data = TableReporter::new(
         &format!("{name}: generated data"),
@@ -402,6 +406,14 @@ fn render_analysis(
     for (n, k, items, bytes) in data_summary {
         data.add_row(&[n.clone(), k.clone(), items.to_string(), bytes.to_string()]);
     }
+    let gen_line = generation.map_or(String::new(), |g| {
+        format!(
+            "generation: {} items/s, {} bytes/s on {} worker(s)\n",
+            fmt_num(g.items_per_sec()),
+            fmt_num(g.bytes_per_sec()),
+            g.workers
+        )
+    });
     let mut table = TableReporter::new(
         &format!("{name}: results"),
         &["workload", "system", "category", "secs", "ops/s", "Mrops", "joules", "dollars"],
@@ -418,7 +430,7 @@ fn render_analysis(
             fmt_num(r.report.cost_dollars),
         ]);
     }
-    format!("{}\n{}", data.to_text(), table.to_text())
+    format!("{}\n{}{}", data.to_text(), gen_line, table.to_text())
 }
 
 #[cfg(test)]
@@ -519,6 +531,47 @@ mod tests {
         assert!(err.unwrap() < 0.5, "rate error {err:?}");
         // All requested items were generated.
         assert_eq!(r.data_summary[0].2, 200);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential_output() {
+        // The sharded parallel path must produce the same data the
+        // sequential path produces — not just the same count.
+        let base = BenchmarkSpec::new("par")
+            .with_prescription("relational/select-aggregate")
+            .with_system(SystemKind::Sql)
+            .with_scale(400)
+            .with_seed(9);
+        let seq = Benchmark::new().run(&base.clone()).unwrap();
+        let par = Benchmark::new()
+            .run(&base.with_generator_workers(4))
+            .unwrap();
+        assert_eq!(seq.data_summary, par.data_summary);
+        assert_eq!(
+            seq.results[0].detail("output_rows"),
+            par.results[0].detail("output_rows")
+        );
+        // And the parallel run reports its generation throughput.
+        let g = par.generation.unwrap();
+        assert_eq!(g.workers, 4);
+        assert!(g.items_per_sec() > 0.0);
+        assert!(g.bytes_per_sec() > 0.0);
+        assert!(par.analysis.contains("generation:"));
+    }
+
+    #[test]
+    fn exec_config_plumbs_generator_workers() {
+        let spec = BenchmarkSpec::new("cfg")
+            .with_prescription("micro/wordcount")
+            .with_scale(150)
+            .with_seed(2);
+        let mut b = Benchmark::new();
+        b.execution_layer_mut().system_config =
+            b.execution_layer_mut().system_config.clone().with_generator_workers(2);
+        let r = b.run(&spec).unwrap();
+        assert_eq!(r.generation.unwrap().workers, 2);
+        assert!(r.generation_rate.is_some());
+        assert_eq!(r.data_summary[0].2, 150);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Measures the parallel-generation speedup for a 1M-row fitted table.
+//!
+//! ```text
+//! cargo run --release -p bdb-datagen --example parallel_speedup
+//! ```
+//!
+//! On an N-core host the sharded path approaches N× the sequential rate;
+//! on a single-core container the worker counts tie (no regression), since
+//! the shards are CPU-bound and time-slice the one core.
+
+use bdb_datagen::corpus::raw_retail_table;
+use bdb_datagen::table::TableGenerator;
+use bdb_datagen::volume::VolumeSpec;
+use bdb_datagen::DataGenerator;
+use std::time::Instant;
+
+fn main() {
+    let g = TableGenerator::fit("retail", &raw_retail_table()).unwrap();
+    let vol = VolumeSpec::Items(1_000_000);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("available parallelism: {cores}");
+    let mut base = None;
+    for w in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let d = g.generate_parallel(9, &vol, w).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        let rate = d.item_count() as f64 / secs;
+        let b = *base.get_or_insert(rate);
+        println!(
+            "workers={w} items={} secs={secs:.3} rate={rate:.0}/s speedup={:.2}x",
+            d.item_count(),
+            rate / b
+        );
+    }
+}

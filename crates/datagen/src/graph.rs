@@ -68,13 +68,28 @@ impl RmatGenerator {
 
     /// Generate a graph with `2^scale` vertices.
     pub fn generate_graph(&self, seed: u64, scale: u32) -> EdgeListGraph {
-        let n = 1usize << scale;
+        let n = 1u64 << scale;
         let m = (n as f64 * self.edges_per_vertex) as u64;
+        self.generate_graph_shard(seed, scale, 0, m)
+    }
+
+    /// Generate edges `[edge_offset, edge_offset + edges)` of the
+    /// sequential edge list for `(seed, scale)`. Each edge draws from its
+    /// own [`SeedTree`] cell, so concatenating disjoint edge ranges in
+    /// order reproduces [`generate_graph`](Self::generate_graph) exactly.
+    pub fn generate_graph_shard(
+        &self,
+        seed: u64,
+        scale: u32,
+        edge_offset: u64,
+        edges: u64,
+    ) -> EdgeListGraph {
+        let n = 1usize << scale;
         let tree = SeedTree::new(seed).child_named("rmat");
         let mut g = EdgeListGraph::new(n);
         let ab = self.a + self.b;
         let abc = ab + self.c;
-        for e in 0..m {
+        for e in edge_offset..edge_offset + edges {
             let mut rng = tree.cell(e);
             let (mut u, mut v) = (0usize, 0usize);
             for _ in 0..scale {
@@ -96,6 +111,15 @@ impl RmatGenerator {
         }
         g
     }
+
+    /// The `(scale, total_edges)` a volume spec resolves to — shared by
+    /// the sequential and sharded trait paths.
+    fn resolve_shape(&self, volume: &VolumeSpec) -> Result<(u32, u64)> {
+        let vertices = volume.resolve_items(self.edges_per_vertex * 8.0, 1 << 10)?;
+        let scale = (vertices.max(2) as f64).log2().ceil() as u32;
+        let n = 1u64 << scale;
+        Ok((scale, (n as f64 * self.edges_per_vertex) as u64))
+    }
 }
 
 impl DataGenerator for RmatGenerator {
@@ -108,9 +132,23 @@ impl DataGenerator for RmatGenerator {
     }
 
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
-        let vertices = volume.resolve_items(self.edges_per_vertex * 8.0, 1 << 10)?;
-        let scale = (vertices.max(2) as f64).log2().ceil() as u32;
+        let (scale, _) = self.resolve_shape(volume)?;
         Ok(Dataset::Graph(self.generate_graph(seed, scale)))
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        self.resolve_shape(volume).map(|(_, m)| Some(m))
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        let (scale, _) = self.resolve_shape(volume)?;
+        Ok(Dataset::Graph(self.generate_graph_shard(seed, scale, offset, len)))
     }
 }
 
@@ -167,6 +205,9 @@ impl BaGenerator {
     }
 }
 
+// Preferential attachment depends on the degrees of *all* earlier edges,
+// so BA keeps the default `plan_items = None`: `generate_parallel` falls
+// back to the sequential path rather than pretend to shard.
 impl DataGenerator for BaGenerator {
     fn name(&self) -> &str {
         "graph/barabasi-albert"
@@ -193,15 +234,33 @@ impl ErdosRenyiGenerator {
     /// Generate a graph with `n` vertices and `n * edges_per_vertex` edges.
     pub fn generate_graph(&self, seed: u64, n: usize) -> EdgeListGraph {
         let m = (n as f64 * self.edges_per_vertex) as u64;
+        self.generate_graph_shard(seed, n, 0, m)
+    }
+
+    /// Generate edges `[edge_offset, edge_offset + edges)` of the
+    /// sequential edge list for `(seed, n)` — per-edge seed cells make any
+    /// edge range independently reproducible.
+    pub fn generate_graph_shard(
+        &self,
+        seed: u64,
+        n: usize,
+        edge_offset: u64,
+        edges: u64,
+    ) -> EdgeListGraph {
         let tree = SeedTree::new(seed).child_named("er");
         let mut g = EdgeListGraph::new(n);
-        for e in 0..m {
+        for e in edge_offset..edge_offset + edges {
             let mut rng = tree.cell(e);
             let u = rng.next_bounded(n as u64) as u32;
             let v = rng.next_bounded(n as u64) as u32;
             g.add_edge(u, v);
         }
         g
+    }
+
+    fn resolve_shape(&self, volume: &VolumeSpec) -> Result<(usize, u64)> {
+        let n = volume.resolve_items(self.edges_per_vertex * 8.0, 1 << 10)? as usize;
+        Ok((n, (n as f64 * self.edges_per_vertex) as u64))
     }
 }
 
@@ -215,8 +274,23 @@ impl DataGenerator for ErdosRenyiGenerator {
     }
 
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
-        let vertices = volume.resolve_items(self.edges_per_vertex * 8.0, 1 << 10)?;
-        Ok(Dataset::Graph(self.generate_graph(seed, vertices as usize)))
+        let (n, _) = self.resolve_shape(volume)?;
+        Ok(Dataset::Graph(self.generate_graph(seed, n)))
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        self.resolve_shape(volume).map(|(_, m)| Some(m))
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        let (n, _) = self.resolve_shape(volume)?;
+        Ok(Dataset::Graph(self.generate_graph_shard(seed, n, offset, len)))
     }
 }
 
@@ -391,6 +465,50 @@ mod tests {
     #[test]
     fn fit_rmat_rejects_tiny_graph() {
         assert!(fit_rmat(&EdgeListGraph::new(1), 1).is_err());
+    }
+
+    #[test]
+    fn rmat_edge_shards_union_to_full_graph() {
+        let gen = RmatGenerator::standard(4.0);
+        let full = gen.generate_graph(3, 8);
+        let m = full.num_edges() as u64;
+        let mut merged = gen.generate_graph_shard(3, 8, 0, m / 3);
+        for &(u, v) in gen.generate_graph_shard(3, 8, m / 3, m - m / 3).edges() {
+            merged.add_edge(u, v);
+        }
+        assert_eq!(full, merged);
+    }
+
+    #[test]
+    fn parallel_graph_generation_matches_sequential() {
+        let gen = RmatGenerator::standard(4.0);
+        let vol = VolumeSpec::Items(512);
+        let seq = gen.generate(2, &vol).unwrap();
+        let par = gen.generate_parallel(2, &vol, 4).unwrap();
+        match (seq, par) {
+            (Dataset::Graph(a), Dataset::Graph(b)) => assert_eq!(a, b),
+            _ => panic!("expected graphs"),
+        }
+        let er = ErdosRenyiGenerator { edges_per_vertex: 4.0 };
+        let seq = er.generate(2, &vol).unwrap();
+        let par = er.generate_parallel(2, &vol, 3).unwrap();
+        match (seq, par) {
+            (Dataset::Graph(a), Dataset::Graph(b)) => assert_eq!(a, b),
+            _ => panic!("expected graphs"),
+        }
+    }
+
+    #[test]
+    fn ba_falls_back_to_sequential_in_parallel_mode() {
+        let gen = BaGenerator::new(2).unwrap();
+        let vol = VolumeSpec::Items(100);
+        assert!(gen.plan_items(1, &vol).unwrap().is_none());
+        let seq = gen.generate(1, &vol).unwrap();
+        let par = gen.generate_parallel(1, &vol, 4).unwrap();
+        match (seq, par) {
+            (Dataset::Graph(a), Dataset::Graph(b)) => assert_eq!(a, b),
+            _ => panic!("expected graphs"),
+        }
     }
 
     #[test]

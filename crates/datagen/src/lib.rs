@@ -34,9 +34,10 @@ pub mod veracity;
 pub mod volume;
 
 use bdb_common::graph::EdgeListGraph;
+use bdb_common::pool;
 use bdb_common::record::Table;
 use bdb_common::text::{Document, Vocabulary};
-use bdb_common::Result;
+use bdb_common::{BdbError, Result};
 
 /// A generated data set of one of the four source types the paper's
 /// *variety* axis requires (table, text, graph, stream).
@@ -120,6 +121,16 @@ impl std::fmt::Display for DataSourceKind {
 /// pair always yields the same data, and distinct seeds yield independent
 /// data sets, which is what lets the velocity layer run many generators in
 /// parallel.
+///
+/// Generators that can produce any contiguous item range independently —
+/// the PDGF/BDGS property — additionally implement [`plan_items`] and
+/// [`generate_shard`]; the provided [`generate_parallel`] then shards the
+/// volume across a [`bdb_common::pool`] worker pool and merges the slices
+/// in index order, so the parallel output equals the sequential output.
+///
+/// [`plan_items`]: DataGenerator::plan_items
+/// [`generate_shard`]: DataGenerator::generate_shard
+/// [`generate_parallel`]: DataGenerator::generate_parallel
 pub trait DataGenerator: Send + Sync {
     /// Human-readable generator name (for reports).
     fn name(&self) -> &str;
@@ -129,6 +140,96 @@ pub trait DataGenerator: Send + Sync {
 
     /// Generate a data set of roughly `volume` size using `seed`.
     fn generate(&self, seed: u64, volume: &volume::VolumeSpec) -> Result<Dataset>;
+
+    /// The number of shardable items (rows, documents, edges, events) a
+    /// sequential [`generate`](DataGenerator::generate) of this volume
+    /// would produce, or `None` when the generator cannot shard (its
+    /// items depend on global state, like preferential attachment).
+    fn plan_items(&self, _seed: u64, _volume: &volume::VolumeSpec) -> Result<Option<u64>> {
+        Ok(None)
+    }
+
+    /// Generate items `[offset, offset + len)` of the sequential run for
+    /// `(seed, volume)`. Shards of non-timestamp data concatenate to the
+    /// exact sequential output; running clocks (stream timestamps,
+    /// monotonic table columns) re-anchor at `offset` using the expected
+    /// mean gap and carry a documented tolerance instead.
+    fn generate_shard(
+        &self,
+        _seed: u64,
+        _volume: &volume::VolumeSpec,
+        _offset: u64,
+        _len: u64,
+    ) -> Result<Dataset> {
+        Err(BdbError::DataGen(format!(
+            "generator {} does not support sharded generation",
+            self.name()
+        )))
+    }
+
+    /// Generate `volume` items on `workers` threads (0 = available
+    /// parallelism) by sharding through the common worker pool and
+    /// merging the shards in index order.
+    ///
+    /// Falls back to the sequential path when the generator cannot shard
+    /// or when one worker (or one item) makes sharding pointless, so it
+    /// is always safe to call.
+    fn generate_parallel(
+        &self,
+        seed: u64,
+        volume: &volume::VolumeSpec,
+        workers: usize,
+    ) -> Result<Dataset> {
+        let workers = pool::effective_workers(workers);
+        let total = match self.plan_items(seed, volume)? {
+            Some(n) => n,
+            None => return self.generate(seed, volume),
+        };
+        if workers <= 1 || total < 2 {
+            return self.generate(seed, volume);
+        }
+        // A few chunks per worker lets the pool absorb per-chunk cost
+        // imbalance without changing the merged output.
+        let chunks = pool::split_even(total, (workers * 4).min(total as usize));
+        let parts = pool::par_map_chunks(workers, chunks, |c| {
+            self.generate_shard(seed, volume, c.offset, c.len)
+        });
+        merge_datasets(parts.into_iter().collect::<Result<Vec<_>>>()?)
+    }
+}
+
+/// Merge per-shard datasets (all of one kind) into one, in shard order.
+///
+/// Text shards share one vocabulary; tables append rows; graphs append
+/// edge ranges (vertex counts must agree); streams concatenate events.
+pub fn merge_datasets(mut parts: Vec<Dataset>) -> Result<Dataset> {
+    let first = parts
+        .drain(..1)
+        .next()
+        .ok_or_else(|| BdbError::DataGen("no data generated".into()))?;
+    parts.into_iter().try_fold(first, |acc, part| {
+        Ok(match (acc, part) {
+            (Dataset::Text { mut docs, vocab }, Dataset::Text { docs: d2, .. }) => {
+                docs.extend(d2);
+                Dataset::Text { docs, vocab }
+            }
+            (Dataset::Table(mut t), Dataset::Table(t2)) => {
+                t.append(t2)?;
+                Dataset::Table(t)
+            }
+            (Dataset::Graph(mut g), Dataset::Graph(g2)) => {
+                for &(u, v) in g2.edges() {
+                    g.add_edge(u, v);
+                }
+                Dataset::Graph(g)
+            }
+            (Dataset::Stream(mut e), Dataset::Stream(e2)) => {
+                e.extend(e2);
+                Dataset::Stream(e)
+            }
+            _ => return Err(BdbError::DataGen("mixed dataset kinds in merge".into())),
+        })
+    })
 }
 
 #[cfg(test)]

@@ -41,13 +41,27 @@ impl PoissonArrivals {
 
     /// Generate `n` events.
     pub fn generate_events(&self, seed: u64, n: u64) -> Vec<Event> {
-        let mut rng = SeedTree::new(seed).child_named("poisson").rng();
+        self.generate_events_shard(seed, 0, n)
+    }
+
+    /// Generate events `[offset, offset + n)` of the stream.
+    ///
+    /// Every event draws its gap, key and value from its own [`SeedTree`]
+    /// cell, so keys and values of any event range are *exactly* those of
+    /// the sequential run. The running clock is sequential by nature: a
+    /// shard re-anchors it at the expected arrival time of event `offset`
+    /// (`offset / rate`), mirroring the table generator's
+    /// `MonotonicTimestamp` re-anchor — timestamps carry that documented
+    /// tolerance while remaining monotonic within the shard.
+    pub fn generate_events_shard(&self, seed: u64, offset: u64, n: u64) -> Vec<Event> {
+        let tree = SeedTree::new(seed).child_named("poisson");
         let gap = Exponential::new(self.rate_per_sec / 1000.0); // per ms
         let keys = Zipf::new(self.num_keys, 0.99);
         let value = Gaussian::new(100.0, 15.0);
-        let mut ts = 0.0f64;
-        (0..n)
-            .map(|_| {
+        let mut ts = offset as f64 * (1000.0 / self.rate_per_sec);
+        (offset..offset + n)
+            .map(|i| {
+                let mut rng = tree.cell(i);
                 ts += gap.sample(&mut rng);
                 Event {
                     ts_ms: ts as u64,
@@ -71,6 +85,22 @@ impl DataGenerator for PoissonArrivals {
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
         let n = volume.resolve_items(std::mem::size_of::<Event>() as f64, 10_000)?;
         Ok(Dataset::Stream(self.generate_events(seed, n)))
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        volume
+            .resolve_items(std::mem::size_of::<Event>() as f64, 10_000)
+            .map(Some)
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        _volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        Ok(Dataset::Stream(self.generate_events_shard(seed, offset, len)))
     }
 }
 
@@ -111,21 +141,47 @@ impl MmppArrivals {
 
     /// Generate `n` events.
     pub fn generate_events(&self, seed: u64, n: u64) -> Vec<Event> {
-        let mut rng = SeedTree::new(seed).child_named("mmpp").rng();
+        self.generate_events_shard(seed, 0, n)
+    }
+
+    /// Generate events `[offset, offset + n)` of the stream.
+    ///
+    /// Per-event randomness (a unit-mean gap later scaled by the current
+    /// state's rate, the key, the value) comes from the event's own
+    /// [`SeedTree`] cell, so keys and values of any range are exactly the
+    /// sequential run's. The calm/burst dwell process is its own
+    /// deterministic boundary sequence (seed subtree `"dwell"`), walked
+    /// from zero to the shard's clock anchor — the expected arrival time
+    /// of event `offset` under the time-averaged rate — so a shard resumes
+    /// in the same modulation state the sequential run would be near that
+    /// time. Timestamps carry the documented anchor tolerance.
+    pub fn generate_events_shard(&self, seed: u64, offset: u64, n: u64) -> Vec<Event> {
+        let tree = SeedTree::new(seed).child_named("mmpp");
+        let dwell_tree = tree.child_named("dwell");
         let keys = Zipf::new(self.num_keys, 0.99);
         let value = Gaussian::new(100.0, 15.0);
         let dwell = Exponential::new(1.0 / self.mean_state_ms);
-        let mut ts = 0.0f64;
+        let unit_gap = Exponential::new(1.0);
+        let avg_rate = (self.calm_rate_per_sec + self.burst_rate_per_sec) / 2.0;
+        let mut ts = offset as f64 * (1000.0 / avg_rate);
+        // Walk the dwell boundary sequence up to the anchor.
         let mut burst = false;
-        let mut state_ends = dwell.sample(&mut rng);
+        let mut state_ends = dwell.sample(&mut dwell_tree.cell(0));
+        let mut boundary = 1u64;
+        while state_ends < ts {
+            burst = !burst;
+            state_ends += dwell.sample(&mut dwell_tree.cell(boundary));
+            boundary += 1;
+        }
         let mut events = Vec::with_capacity(n as usize);
-        while events.len() < n as usize {
+        for i in offset..offset + n {
+            let mut rng = tree.cell(i);
             let rate = if burst { self.burst_rate_per_sec } else { self.calm_rate_per_sec };
-            let gap = Exponential::new(rate / 1000.0).sample(&mut rng);
-            ts += gap;
+            ts += unit_gap.sample(&mut rng) * 1000.0 / rate;
             while ts > state_ends {
                 burst = !burst;
-                state_ends += dwell.sample(&mut rng);
+                state_ends += dwell.sample(&mut dwell_tree.cell(boundary));
+                boundary += 1;
             }
             events.push(Event {
                 ts_ms: ts as u64,
@@ -149,6 +205,22 @@ impl DataGenerator for MmppArrivals {
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
         let n = volume.resolve_items(std::mem::size_of::<Event>() as f64, 10_000)?;
         Ok(Dataset::Stream(self.generate_events(seed, n)))
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        volume
+            .resolve_items(std::mem::size_of::<Event>() as f64, 10_000)
+            .map(Some)
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        _volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        Ok(Dataset::Stream(self.generate_events_shard(seed, offset, len)))
     }
 }
 
@@ -306,6 +378,54 @@ mod tests {
         let vp = Summary::of(&window_counts(&poisson)).variance();
         let vm = Summary::of(&window_counts(&mmpp)).variance();
         assert!(vm > 2.0 * vp, "mmpp var {vm} vs poisson var {vp}");
+    }
+
+    #[test]
+    fn poisson_shard_keys_and_values_match_sequential() {
+        let g = PoissonArrivals::new(500.0, 100).unwrap();
+        let full = g.generate_events(9, 1000);
+        let shard = g.generate_events_shard(9, 400, 300);
+        for (i, e) in shard.iter().enumerate() {
+            assert_eq!(e.key, full[400 + i].key, "event {i}");
+            assert_eq!(e.value, full[400 + i].value, "event {i}");
+        }
+        // The anchored clock stays monotonic and lands near the sequential
+        // clock: within a few mean gaps of the expected arrival time.
+        assert!(shard.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+        let mean_gap_ms = 1000.0 / 500.0;
+        let expect = 400.0 * mean_gap_ms;
+        let drift = (shard[0].ts_ms as f64 - expect).abs();
+        assert!(drift < 100.0 * mean_gap_ms, "drift {drift}ms");
+    }
+
+    #[test]
+    fn mmpp_shard_keys_and_values_match_sequential() {
+        let g = MmppArrivals::new(200.0, 1800.0, 500.0, 10).unwrap();
+        let full = g.generate_events(5, 2000);
+        let shard = g.generate_events_shard(5, 1500, 500);
+        for (i, e) in shard.iter().enumerate() {
+            assert_eq!(e.key, full[1500 + i].key, "event {i}");
+            assert_eq!(e.value, full[1500 + i].value, "event {i}");
+        }
+        assert!(shard.windows(2).all(|w| w[0].ts_ms <= w[1].ts_ms));
+    }
+
+    #[test]
+    fn parallel_stream_generation_preserves_count_and_keys() {
+        let g = PoissonArrivals::new(1000.0, 50).unwrap();
+        let vol = VolumeSpec::Items(4000);
+        let seq = g.generate(3, &vol).unwrap();
+        let par = g.generate_parallel(3, &vol, 4).unwrap();
+        match (seq, par) {
+            (Dataset::Stream(a), Dataset::Stream(b)) => {
+                assert_eq!(a.len(), b.len());
+                let keys = |e: &[Event]| e.iter().map(|x| x.key).collect::<Vec<_>>();
+                assert_eq!(keys(&a), keys(&b));
+                let vals = |e: &[Event]| e.iter().map(|x| x.value).collect::<Vec<_>>();
+                assert_eq!(vals(&a), vals(&b));
+            }
+            _ => panic!("expected streams"),
+        }
     }
 
     #[test]

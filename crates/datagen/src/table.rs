@@ -294,17 +294,56 @@ impl TableGenerator {
         &self.models
     }
 
-    /// Generate `rows` rows for shard `(shard_index, row_offset)` — the
-    /// PDGF-style parallel entry point: workers call this with disjoint
-    /// offsets and the union equals a single sequential generation of the
-    /// same seed, column by column.
+    /// Generate `rows` rows starting at `row_offset` — the PDGF-style
+    /// parallel entry point: workers call this with disjoint offsets and
+    /// the union equals a single sequential generation of the same seed,
+    /// column by column.
+    ///
+    /// Monotonic timestamp columns are sequential by nature, so a shard
+    /// re-anchors its running clock **unconditionally** at `row_offset`
+    /// using the expected mean gap (`start + row_offset * mean_gap_ms`):
+    /// those cells match the sequential run in expectation, not exactly.
+    /// For byte-exact parallel timestamps use
+    /// [`generate_shard_anchored`](Self::generate_shard_anchored) with
+    /// anchors from [`ts_gap_sums`](Self::ts_gap_sums), which is what
+    /// [`DataGenerator::generate_parallel`] does.
     pub fn generate_shard(&self, seed: u64, row_offset: u64, rows: u64) -> Table {
+        let anchors: Vec<i64> = self
+            .models
+            .iter()
+            .map(|m| match m {
+                ColumnModel::MonotonicTimestamp { start, mean_gap_ms } if row_offset > 0 => {
+                    start + (row_offset as f64 * mean_gap_ms) as i64
+                }
+                _ => i64::MIN,
+            })
+            .collect();
+        self.generate_shard_anchored(seed, row_offset, rows, &anchors)
+    }
+
+    /// Generate `rows` rows starting at `row_offset`, with the running
+    /// clock of each monotonic timestamp column pre-seeded to `anchors[c]`
+    /// (`i64::MIN` = start fresh, i.e. row 0 semantics).
+    ///
+    /// When `anchors[c]` carries the **exact** timestamp of row
+    /// `row_offset - 1` (see [`ts_gap_sums`](Self::ts_gap_sums)), the
+    /// shard is cell-for-cell identical to the sequential run — including
+    /// timestamp columns.
+    pub fn generate_shard_anchored(
+        &self,
+        seed: u64,
+        row_offset: u64,
+        rows: u64,
+        anchors: &[i64],
+    ) -> Table {
         let tree = SeedTree::new(seed).child_named(&self.name);
         let mut out = Table::with_capacity(self.schema.clone(), rows as usize);
-        // Timestamp columns are sequential by nature; a shard seeds its
-        // running clock deterministically from its offset so shards remain
-        // monotonic internally.
-        let mut prev_ts = vec![i64::MIN; self.models.len()];
+        let mut prev_ts: Vec<i64> = self
+            .models
+            .iter()
+            .enumerate()
+            .map(|(c, _)| anchors.get(c).copied().unwrap_or(i64::MIN))
+            .collect();
         for r in row_offset..row_offset + rows {
             let row = self
                 .models
@@ -312,20 +351,49 @@ impl TableGenerator {
                 .enumerate()
                 .map(|(c, m)| {
                     let mut rng = tree.child(c as u64).cell(r);
-                    let v = m.generate(r, &mut rng, &mut prev_ts[c]);
-                    if let ColumnModel::MonotonicTimestamp { mean_gap_ms, start } = m {
-                        // Re-anchor the clock for the shard's first row.
-                        if r == row_offset && prev_ts[c] == *start && row_offset > 0 {
-                            prev_ts[c] = start + (row_offset as f64 * mean_gap_ms) as i64;
-                            return Value::Timestamp(prev_ts[c]);
-                        }
-                    }
-                    v
+                    m.generate(r, &mut rng, &mut prev_ts[c])
                 })
                 .collect();
             out.push_unchecked(row);
         }
         out
+    }
+
+    /// For every column, the summed integer timestamp increments of rows
+    /// `[row_offset, row_offset + rows)` — `0` for non-timestamp columns.
+    ///
+    /// The gap of row `r > 0` depends only on cell `(column, r)` of the
+    /// seed tree, so per-chunk sums computed in parallel and prefix-summed
+    /// yield the exact clock value at any row boundary: this is the first
+    /// pass of the exact two-pass parallel table generation. Row 0
+    /// contributes no gap (it emits `start` itself).
+    pub fn ts_gap_sums(&self, seed: u64, row_offset: u64, rows: u64) -> Vec<i64> {
+        let tree = SeedTree::new(seed).child_named(&self.name);
+        self.models
+            .iter()
+            .enumerate()
+            .map(|(c, m)| match m {
+                ColumnModel::MonotonicTimestamp { mean_gap_ms, .. } => {
+                    let col = tree.child(c as u64);
+                    let dist = Exponential::new(1.0 / mean_gap_ms.max(1.0));
+                    (row_offset.max(1)..row_offset + rows)
+                        .map(|r| {
+                            let mut rng = col.cell(r);
+                            dist.sample(&mut rng) as i64 + 1
+                        })
+                        .sum()
+                }
+                _ => 0,
+            })
+            .collect()
+    }
+
+    /// Resolve a volume spec to a row count, probing a tiny shard for the
+    /// average row size (the same resolution `generate` uses).
+    fn resolve_rows(&self, seed: u64, volume: &VolumeSpec) -> Result<u64> {
+        let probe = self.generate_shard(seed, 0, 8);
+        let avg = (probe.byte_size() as f64 / 8.0).max(1.0);
+        volume.resolve_items(avg, 1000)
     }
 }
 
@@ -339,11 +407,79 @@ impl DataGenerator for TableGenerator {
     }
 
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
-        // Estimate bytes per row from a tiny probe shard.
-        let probe = self.generate_shard(seed, 0, 8);
-        let avg = (probe.byte_size() as f64 / 8.0).max(1.0);
-        let rows = volume.resolve_items(avg, 1000)?;
+        let rows = self.resolve_rows(seed, volume)?;
         Ok(Dataset::Table(self.generate_shard(seed, 0, rows)))
+    }
+
+    fn plan_items(&self, seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        self.resolve_rows(seed, volume).map(Some)
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        _volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        Ok(Dataset::Table(TableGenerator::generate_shard(self, seed, offset, len)))
+    }
+
+    /// Exact two-pass parallel generation: pass 1 computes per-chunk
+    /// timestamp-gap sums in parallel and prefix-sums them into exact
+    /// clock anchors, pass 2 generates the anchored shards in parallel —
+    /// so the merged table is byte-identical to the sequential run,
+    /// monotonic timestamp columns included.
+    fn generate_parallel(&self, seed: u64, volume: &VolumeSpec, workers: usize) -> Result<Dataset> {
+        let workers = bdb_common::pool::effective_workers(workers);
+        let rows = self.resolve_rows(seed, volume)?;
+        if workers <= 1 || rows < 2 {
+            return DataGenerator::generate(self, seed, volume);
+        }
+        let chunks =
+            bdb_common::pool::split_even(rows, (workers * 4).min(rows as usize));
+        let has_ts = self
+            .models
+            .iter()
+            .any(|m| matches!(m, ColumnModel::MonotonicTimestamp { .. }));
+        let anchors: Vec<Vec<i64>> = if has_ts {
+            let sums = bdb_common::pool::par_map_chunks(workers, chunks.clone(), |c| {
+                self.ts_gap_sums(seed, c.offset, c.len)
+            });
+            // Exclusive prefix sum over chunk gap sums, offset by each
+            // column's `start`, gives the exact clock at each chunk start.
+            let mut running: Vec<i64> = self
+                .models
+                .iter()
+                .map(|m| match m {
+                    ColumnModel::MonotonicTimestamp { start, .. } => *start,
+                    _ => i64::MIN,
+                })
+                .collect();
+            let mut anchors = Vec::with_capacity(chunks.len());
+            // The first chunk starts fresh (row 0 emits `start` itself).
+            anchors.push(vec![i64::MIN; self.models.len()]);
+            for s in sums.iter().take(chunks.len() - 1) {
+                for (c, sum) in s.iter().enumerate() {
+                    if running[c] != i64::MIN {
+                        running[c] += sum;
+                    }
+                }
+                anchors.push(running.clone());
+            }
+            anchors
+        } else {
+            vec![vec![i64::MIN; self.models.len()]; chunks.len()]
+        };
+        let parts = bdb_common::pool::par_map_chunks(workers, chunks, |c| {
+            self.generate_shard_anchored(seed, c.offset, c.len, &anchors[c.index])
+        });
+        let mut iter = parts.into_iter();
+        let mut out = iter.next().expect("at least one chunk");
+        for t in iter {
+            out.append(t)?;
+        }
+        Ok(Dataset::Table(out))
     }
 }
 
@@ -466,6 +602,69 @@ mod tests {
     fn model_count_mismatch_is_rejected() {
         let schema = Schema::new(vec![Field::new("k", DataType::Int)]);
         assert!(TableGenerator::new("t", schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn shard_reanchors_timestamps_unconditionally() {
+        // Regression: the old re-anchor only fired when the shard's first
+        // generated clock value equalled `start`, so an offset shard could
+        // silently restart its clock at `start` and diverge from the
+        // sequential run by the whole anchor offset. The anchor must apply
+        // for every `row_offset > 0`, regardless of generated values.
+        let schema = Schema::new(vec![Field::new("ts", DataType::Timestamp)]);
+        let g = TableGenerator::new(
+            "t",
+            schema,
+            vec![ColumnModel::MonotonicTimestamp { start: 1_000, mean_gap_ms: 100.0 }],
+        )
+        .unwrap();
+        let shard = g.generate_shard(7, 500, 10);
+        let anchor = 1_000 + (500.0 * 100.0) as i64;
+        let first = shard.value(0, 0).unwrap().as_i64().unwrap();
+        assert!(
+            first > anchor && first < anchor + 20 * 100,
+            "shard clock {first} must continue from anchor {anchor}, not restart at start"
+        );
+        // And it stays monotonic from there.
+        let col = shard.column("ts").unwrap();
+        for w in col.windows(2) {
+            assert!(w[0].as_i64().unwrap() < w[1].as_i64().unwrap());
+        }
+    }
+
+    #[test]
+    fn parallel_generation_is_byte_identical_including_timestamps() {
+        let raw = raw_retail_table();
+        let g = TableGenerator::fit("retail", &raw).unwrap();
+        let vol = VolumeSpec::Items(500);
+        let seq = DataGenerator::generate(&g, 11, &vol).unwrap();
+        for workers in [2, 3, 4] {
+            let par = g.generate_parallel(11, &vol, workers).unwrap();
+            match (&seq, &par) {
+                (Dataset::Table(a), Dataset::Table(b)) => {
+                    assert_eq!(a, b, "workers {workers}")
+                }
+                _ => panic!("expected tables"),
+            }
+        }
+    }
+
+    #[test]
+    fn ts_gap_sums_match_sequential_clock() {
+        let raw = raw_retail_table();
+        let g = TableGenerator::fit("retail", &raw).unwrap();
+        let ts_idx = raw.schema().index_of("order_ts").unwrap();
+        let full = g.generate_shard(5, 0, 64);
+        let sums = g.ts_gap_sums(5, 0, 40);
+        let start = match g.models()[ts_idx] {
+            ColumnModel::MonotonicTimestamp { start, .. } => start,
+            _ => unreachable!(),
+        };
+        // start + gaps of rows 1..=39 == clock value at row 39.
+        assert_eq!(
+            start + sums[ts_idx],
+            full.value(39, ts_idx).unwrap().as_i64().unwrap()
+        );
     }
 
     #[test]

@@ -277,15 +277,23 @@ impl DataGenerator for LdaModel {
     }
 
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
-        let avg_len = (self.length_mu + self.length_sigma * self.length_sigma / 2.0).exp();
-        let n_docs = volume.resolve_items(avg_len * 4.0, 1000)?;
-        let tree = SeedTree::new(seed);
-        let docs = (0..n_docs)
-            .map(|i| {
-                let mut rng = tree.cell(i);
-                self.generate_doc(&mut rng)
-            })
-            .collect();
+        let n_docs = crate::text::resolve_docs(self.length_mu, self.length_sigma, volume)?;
+        DataGenerator::generate_shard(self, seed, volume, 0, n_docs)
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        crate::text::resolve_docs(self.length_mu, self.length_sigma, volume).map(Some)
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        _volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        let docs =
+            crate::text::docs_in_range(seed, offset, len, |rng| self.generate_doc(rng));
         Ok(Dataset::Text { docs, vocab: self.vocab.clone() })
     }
 }

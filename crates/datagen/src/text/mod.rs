@@ -45,6 +45,32 @@ pub fn sample_length(mu: f64, sigma: f64, rng: &mut dyn Rng) -> usize {
     (len.round() as usize).clamp(1, 10_000)
 }
 
+/// Resolve a volume spec to a document count under a fitted log-normal
+/// length model (`avg words × ~4 bytes/word`). Shared by all three text
+/// generators so `plan_items` and `generate` agree exactly.
+pub(crate) fn resolve_docs(mu: f64, sigma: f64, volume: &VolumeSpec) -> Result<u64> {
+    let avg_len = (mu + sigma * sigma / 2.0).exp();
+    volume.resolve_items(avg_len * 4.0, 1000)
+}
+
+/// Generate documents `[offset, offset + len)` of the sequential run: every
+/// document draws from its own [`SeedTree`] cell, so any document range is
+/// reproducible independently — text's shard-determinism contract is exact.
+pub(crate) fn docs_in_range(
+    seed: u64,
+    offset: u64,
+    len: u64,
+    gen_doc: impl Fn(&mut dyn Rng) -> Document,
+) -> Vec<Document> {
+    let tree = SeedTree::new(seed);
+    (offset..offset + len)
+        .map(|i| {
+            let mut rng = tree.cell(i);
+            gen_doc(&mut rng)
+        })
+        .collect()
+}
+
 /// Veracity-unaware baseline: uniform i.i.d. words over the vocabulary.
 #[derive(Debug, Clone)]
 pub struct NaiveTextGenerator {
@@ -82,18 +108,27 @@ impl DataGenerator for NaiveTextGenerator {
     }
 
     fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
-        let avg_len = (self.length_mu + self.length_sigma * self.length_sigma / 2.0).exp();
-        let n_docs = volume.resolve_items(avg_len * 4.0, 1000)?;
-        let tree = SeedTree::new(seed);
+        let n_docs = resolve_docs(self.length_mu, self.length_sigma, volume)?;
+        DataGenerator::generate_shard(self, seed, volume, 0, n_docs)
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        resolve_docs(self.length_mu, self.length_sigma, volume).map(Some)
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        _volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
         let v = self.vocab.len() as u64;
-        let docs = (0..n_docs)
-            .map(|i| {
-                let mut rng = tree.cell(i);
-                let len = sample_length(self.length_mu, self.length_sigma, &mut rng);
-                let words = (0..len).map(|_| rng.next_bounded(v) as u32).collect();
-                Document { words }
-            })
-            .collect();
+        let docs = docs_in_range(seed, offset, len, |rng| {
+            let len = sample_length(self.length_mu, self.length_sigma, rng);
+            let words = (0..len).map(|_| rng.next_bounded(v) as u32).collect();
+            Document { words }
+        });
         Ok(Dataset::Text { docs, vocab: self.vocab.clone() })
     }
 }

@@ -14,6 +14,11 @@ use std::collections::BTreeMap;
 pub struct SystemConfig {
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Worker threads for parallel data generation (0 = available
+    /// parallelism, 1 = sequential). Kept separate from `threads` because
+    /// generation and execution are different phases with different
+    /// scaling behaviour.
+    pub generator_workers: usize,
     /// Memory budget in bytes the engine should respect.
     pub memory_budget_bytes: usize,
     /// Engine-specific free-form parameters.
@@ -24,6 +29,7 @@ impl Default for SystemConfig {
     fn default() -> Self {
         Self {
             threads: 0,
+            generator_workers: 1,
             memory_budget_bytes: 256 << 20,
             parameters: BTreeMap::new(),
         }
@@ -34,6 +40,12 @@ impl SystemConfig {
     /// Set the thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Set the data-generation worker count (0 = available parallelism).
+    pub fn with_generator_workers(mut self, workers: usize) -> Self {
+        self.generator_workers = workers;
         self
     }
 
@@ -101,11 +113,18 @@ mod tests {
     fn builder_sets_fields() {
         let c = SystemConfig::default()
             .with_threads(8)
+            .with_generator_workers(4)
             .with_memory_budget(1 << 20)
             .with_parameter("reduce_tasks", "16");
         assert_eq!(c.effective_threads(), 8);
+        assert_eq!(c.generator_workers, 4);
         assert_eq!(c.memory_budget_bytes, 1 << 20);
         assert_eq!(c.parameter::<usize>("reduce_tasks").unwrap(), 16);
+    }
+
+    #[test]
+    fn generator_workers_default_is_sequential() {
+        assert_eq!(SystemConfig::default().generator_workers, 1);
     }
 
     #[test]

@@ -89,9 +89,70 @@ pub struct UserMetrics {
     pub latency_samples: u64,
 }
 
+/// Throughput of one data-generation run: the paper treats generator
+/// speed as a first-class property (BDGS's parallel deployment lever), so
+/// the pipeline records what the generation phase achieved and on how many
+/// workers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct GenerationMetrics {
+    /// Logical items generated (rows, documents, edges, events).
+    pub items: u64,
+    /// Approximate bytes generated.
+    pub bytes: u64,
+    /// Wall-clock generation time in seconds.
+    pub duration_secs: f64,
+    /// Worker threads used (1 = sequential).
+    pub workers: usize,
+}
+
+impl GenerationMetrics {
+    /// Assemble from a timed generation run.
+    pub fn measure(items: u64, bytes: u64, duration: Duration, workers: usize) -> Self {
+        Self {
+            items,
+            bytes,
+            duration_secs: duration.as_secs_f64(),
+            workers: workers.max(1),
+        }
+    }
+
+    /// Achieved items per second.
+    pub fn items_per_sec(&self) -> f64 {
+        self.items as f64 / self.duration_secs.max(1e-9)
+    }
+
+    /// Achieved (approximate) bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.duration_secs.max(1e-9)
+    }
+
+    /// Fold another generation run (e.g. a second dataset of the same
+    /// benchmark) into this one; durations add, workers keep the maximum.
+    pub fn merge(&mut self, other: &GenerationMetrics) {
+        self.items += other.items;
+        self.bytes += other.bytes;
+        self.duration_secs += other.duration_secs;
+        self.workers = self.workers.max(other.workers);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn generation_metrics_rates_and_merge() {
+        let mut g = GenerationMetrics::measure(1000, 8000, Duration::from_millis(500), 4);
+        assert!((g.items_per_sec() - 2000.0).abs() < 1e-6);
+        assert!((g.bytes_per_sec() - 16_000.0).abs() < 1e-6);
+        g.merge(&GenerationMetrics::measure(1000, 2000, Duration::from_millis(500), 2));
+        assert_eq!(g.items, 2000);
+        assert_eq!(g.bytes, 10_000);
+        assert_eq!(g.workers, 4);
+        assert!((g.items_per_sec() - 2000.0).abs() < 1e-6);
+        // Zero-duration runs don't divide by zero.
+        assert!(GenerationMetrics::default().items_per_sec() >= 0.0);
+    }
 
     #[test]
     fn collector_records_latencies_and_throughput() {

@@ -29,7 +29,7 @@ pub mod platform;
 pub mod report;
 
 pub use arch::{ArchMetrics, OpCounts};
-pub use collector::{MetricsCollector, UserMetrics};
+pub use collector::{GenerationMetrics, MetricsCollector, UserMetrics};
 pub use model::{CostModel, PowerModel};
 pub use platform::{PlatformProfile, PlatformProjection, PlatformStudy};
 pub use report::MetricReport;

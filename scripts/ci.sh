@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build + full test suite + clippy.
+#
+#   ./scripts/ci.sh
+#
+# Build and tests are hard failures. Clippy runs with -D warnings but is a
+# soft gate for now (prints the verdict, never fails the script) while the
+# vendored std-only dependency stubs are brought up to lint cleanliness.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace || exit 1
+
+echo "== cargo test =="
+cargo test -q --workspace || exit 1
+
+echo "== cargo clippy (soft gate) =="
+if cargo clippy --workspace --all-targets -- -D warnings; then
+    echo "clippy: clean"
+else
+    echo "clippy: warnings found (soft gate — not failing the build)"
+fi
+
+echo "CI gate passed."

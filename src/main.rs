@@ -113,8 +113,9 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
             bdbench::common::BdbError::InvalidConfig(format!("bad --scale {scale}"))
         })?);
     }
+    // --workers 0 = available parallelism, 1 = sequential (the default).
     let workers = opt_u64(&opts, "workers", 1);
-    if workers > 1 {
+    if workers != 1 {
         spec = spec.with_generator_workers(workers as usize);
     }
     if let Some(rate) = opts.get("rate") {
@@ -136,6 +137,14 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
             Some(e) => println!("generation rate: {rate:.0} items/s (target error {e:.3})"),
             None => println!("generation rate: {rate:.0} items/s"),
         }
+    }
+    if let Some(g) = &run.generation {
+        println!(
+            "generation throughput: {:.0} items/s, {:.0} bytes/s on {} worker(s)",
+            g.items_per_sec(),
+            g.bytes_per_sec(),
+            g.workers
+        );
     }
     println!("{}", run.analysis);
     Ok(())

@@ -1,0 +1,384 @@
+//! Offline stand-in for `serde`, sufficient for the derive surface this
+//! workspace uses.
+//!
+//! Instead of serde's visitor-based zero-copy data model, serialization
+//! goes through an owned tree ([`Content`]): `Serialize` produces a
+//! `Content`, `Deserialize` consumes a `&Content`. The companion
+//! `serde_json` stand-in prints and parses that tree. Enum representation
+//! follows serde's externally-tagged default (unit variant → `"Name"`,
+//! newtype → `{"Name": value}`, tuple → `{"Name": [..]}`, struct variant
+//! → `{"Name": {..}}`).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The serialization data model: an owned JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered string-keyed map (struct fields keep declaration order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the tree node's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Content`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the data model.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can be rebuilt from the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize a value, failing with a message on shape mismatch.
+    fn deserialize(v: &Content) -> Result<Self, DeError>;
+}
+
+/// Look up a struct field by name in a map node.
+///
+/// Missing fields resolve to `Null` so `Option` fields deserialize to
+/// `None`, mirroring how the real serde handles `Option` defaults only
+/// loosely enough for this workspace's self-produced documents.
+pub fn get_field<'a>(map: &'a [(String, Content)], name: &str) -> &'a Content {
+    static NULL: Content = Content::Null;
+    map.iter().find(|(k, _)| k == name).map_or(&NULL, |(_, v)| v)
+}
+
+/// Split an externally-tagged enum node into `(variant_name, payload)`.
+pub fn enum_parts(v: &Content) -> Result<(&str, &Content), DeError> {
+    match v {
+        Content::Map(m) if m.len() == 1 => Ok((m[0].0.as_str(), &m[0].1)),
+        other => Err(DeError::custom(format!(
+            "expected single-key enum map, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let n = match v {
+                    Content::I64(n) => *n,
+                    Content::U64(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range"))?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let n = match v {
+                    Content::U64(n) => *n,
+                    Content::I64(n) => u64::try_from(*n)
+                        .map_err(|_| DeError::custom("negative integer for unsigned"))?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::F64(x) => Ok(*x),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            other => Err(DeError::custom(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        let s = String::deserialize(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(v: &Content) -> Result<Self, DeError> {
+        match v {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!("expected map, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Content) -> Result<Self, DeError> {
+                let items = v.as_seq().ok_or_else(|| {
+                    DeError::custom(format!("expected tuple sequence, found {}", v.kind()))
+                })?;
+                if items.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {}, found {} elements",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+impl_tuple!(5 => A.0, B.1, C.2, D.3, E.4);
+impl_tuple!(6 => A.0, B.1, C.2, D.3, E.4, F.5);

@@ -1,0 +1,405 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — named-field structs and enums with unit,
+//! tuple, and struct variants — with a hand-rolled token parser (no
+//! `syn`/`quote`; the registry is offline). Generics and `#[serde(...)]`
+//! attributes are unsupported and rejected with a clear panic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Body {
+    /// Named-field struct (possibly empty / unit).
+    Struct(Vec<String>),
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_group(t: &TokenTree, d: Delimiter) -> bool {
+    matches!(t, TokenTree::Group(g) if g.delimiter() == d)
+}
+
+/// Advance past any `#[...]` attributes starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && is_group(&tokens[i + 1], Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Advance past `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(t) if is_group(t, Delimiter::Parenthesis)) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parse `name: Type, ...` field lists, returning field names in order.
+/// Type tokens are skipped with `<`/`>` depth tracking (`->` exempt).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde stand-in derive: expected field name, found {t}"),
+        };
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(t) if is_punct(t, ':')),
+            "serde stand-in derive: expected ':' after field {name}"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        depth -= 1;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the types in a tuple-variant payload `(A, B<C, D>, ...)`.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut prev_dash = false;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                arity += 1;
+                trailing_comma = true;
+            } else if c == '<' {
+                depth += 1;
+            } else if c == '>' && !prev_dash {
+                depth -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => panic!("serde stand-in derive: expected variant name, found {t}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        if matches!(tokens.get(i), Some(t) if is_punct(t, '=')) {
+            i += 1;
+            while matches!(tokens.get(i), Some(t) if !is_punct(t, ',')) {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(t) if is_punct(t, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    assert!(
+        !matches!(tokens.get(i), Some(t) if is_punct(t, '<')),
+        "serde stand-in derive: generic type {name} is unsupported"
+    );
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Body::Struct(Vec::new()),
+            _ => panic!("serde stand-in derive: tuple struct {name} is unsupported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde stand-in derive: malformed enum {name}"),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind {other}"),
+    };
+    Item { name, body }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Content::Map(::std::vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::serialize(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::serialize(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(::std::vec![(\
+                                 \"{vn}\".to_string(), ::serde::Content::Seq(::std::vec![{}])\
+                                 )]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Content::Map(::std::vec![(\
+                                 \"{vn}\".to_string(), ::serde::Content::Map(::std::vec![{}])\
+                                 )]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("serde stand-in derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::get_field(__m, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 ::std::format!(\"expected map for struct {name}, found {{}}\", v.kind())))?;\n\
+                 let _ = __m;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => return ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__payload)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize(&__items[{k}])?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __items = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected sequence for variant \
+                                 {name}::{vn}\"))?;\n\
+                                 if __items.len() != {n} {{ return \
+                                 ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"wrong arity for variant {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(\
+                                         ::serde::get_field(__m, \"{f}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __m = __payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected map for variant \
+                                 {name}::{vn}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Content::Str(__s) = v {{\n\
+                 match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown unit variant {{}} for enum {name}\", __other))),\n\
+                 }}\n\
+                 }}\n\
+                 let (__tag, __payload) = ::serde::enum_parts(v)?;\n\
+                 match __tag {{\n\
+                 {payloads}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant {{}} for enum {name}\", __other))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde stand-in derive: generated invalid Deserialize impl")
+}
