@@ -8,6 +8,7 @@
 
 use crate::registry::GeneratorRegistry;
 use bdb_exec::config::SystemConfig;
+use bdb_exec::engine::EngineRegistry;
 use bdb_metrics::{CostModel, PowerModel};
 use bdb_testgen::{PrescriptionRepository, SystemKind};
 
@@ -25,8 +26,11 @@ pub struct BenchmarkSpec {
     pub scale: Option<u64>,
     /// Target data generation rate (items/sec), if velocity-controlled.
     pub target_rate: Option<f64>,
-    /// Parallel generator workers for the data generation step.
-    pub generator_workers: usize,
+    /// Parallel generator workers for the data generation step. `None`
+    /// defers to the Execution Layer's [`SystemConfig`]; `Some(n)` is an
+    /// explicit request (so `Some(1)` forces sequential generation even
+    /// when the system config asks for parallelism).
+    pub generator_workers: Option<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -40,7 +44,7 @@ impl BenchmarkSpec {
             system: SystemKind::Native,
             scale: None,
             target_rate: None,
-            generator_workers: 1,
+            generator_workers: None,
             seed: 0xBDBE,
         }
     }
@@ -70,9 +74,10 @@ impl BenchmarkSpec {
     }
 
     /// Deploy N parallel data generators (0 = available parallelism,
-    /// 1 = sequential).
+    /// 1 = sequential). An explicit setting always wins over the
+    /// Execution Layer's default.
     pub fn with_generator_workers(mut self, workers: usize) -> Self {
-        self.generator_workers = workers;
+        self.generator_workers = Some(workers);
         self
     }
 
@@ -110,12 +115,25 @@ impl Default for FunctionLayer {
     }
 }
 
-/// Execution Layer: system configuration (format conversion and analysis
-/// live in `bdb-exec` and are re-exported through the pipeline's report).
-#[derive(Debug, Default)]
+/// Execution Layer: system configuration plus the pluggable engine
+/// registry that maps prescribed tests onto software stacks (format
+/// conversion and analysis live in `bdb-exec` and are re-exported through
+/// the pipeline's report).
+#[derive(Debug)]
 pub struct ExecutionLayer {
     /// Engine configuration for the run.
     pub system_config: SystemConfig,
+    /// The registered engine backends, in routing order.
+    pub engines: EngineRegistry,
+}
+
+impl Default for ExecutionLayer {
+    fn default() -> Self {
+        Self {
+            system_config: SystemConfig::default(),
+            engines: EngineRegistry::with_builtins(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +153,7 @@ mod tests {
         assert_eq!(s.system, SystemKind::MapReduce);
         assert_eq!(s.scale, Some(1000));
         assert_eq!(s.target_rate, Some(5000.0));
-        assert_eq!(s.generator_workers, 4);
+        assert_eq!(s.generator_workers, Some(4));
         assert_eq!(s.seed, 7);
     }
 

@@ -4,20 +4,24 @@
 //! Evaluation. [`Benchmark::run`] walks all five steps for a
 //! [`BenchmarkSpec`], timing each, and produces a [`BenchmarkRun`] whose
 //! analysis text is rendered by the Execution Layer's reporter.
+//!
+//! The execution step itself is delegated to the Execution Layer's
+//! [`EngineRegistry`](bdb_exec::engine::EngineRegistry): the pipeline
+//! builds one [`ExecutionRequest`] and the registry routes it to the
+//! capable engine. Every step, generated data set, dispatch decision and
+//! executed operation is recorded in the run's [`RunTrace`].
 
 use crate::layers::{BenchmarkSpec, ExecutionLayer, FunctionLayer};
-use bdb_common::{pool, BdbError, Result};
+use bdb_common::{pool, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
 use bdb_datagen::{merge_datasets, Dataset};
-use bdb_metrics::GenerationMetrics;
+use bdb_exec::engine::ExecutionRequest;
 use bdb_exec::reporter::{fmt_num, TableReporter};
-use bdb_mapreduce::JobConfig;
-use bdb_testgen::bind::{MapReduceBinding, PatternExecutor, SqlBinding};
-use bdb_testgen::ops::{AggSpec, Operation};
-use bdb_testgen::pattern::WorkloadPattern;
-use bdb_testgen::{Prescription, SystemKind, TestGenerator};
-use bdb_workloads::{micro, oltp, search, social, WorkloadCategory, WorkloadResult};
+use bdb_exec::trace::{RunTrace, TraceEvent};
+use bdb_metrics::GenerationMetrics;
+use bdb_testgen::TestGenerator;
+use bdb_workloads::WorkloadResult;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
@@ -76,6 +80,9 @@ pub struct BenchmarkRun {
     pub results: Vec<WorkloadResult>,
     /// The rendered analysis table.
     pub analysis: String,
+    /// Structured events of the whole run: phase spans, generated data
+    /// sets, engine dispatch decisions and executed operations.
+    pub trace: RunTrace,
 }
 
 /// The benchmark runner: Function + Execution layers with a run method.
@@ -103,28 +110,35 @@ impl Benchmark {
 
     /// Run the five-step process for `spec`.
     pub fn run(&self, spec: &BenchmarkSpec) -> Result<BenchmarkRun> {
+        let trace = RunTrace::new();
         let mut phases = Vec::with_capacity(5);
+        let mut finish_phase = |trace: &RunTrace, phase: Phase, started: Instant| {
+            let duration = started.elapsed();
+            trace.phase_finished(phase, duration);
+            phases.push(PhaseTiming { phase, duration });
+        };
 
         // ---- 1. Planning ----
+        trace.phase_started(Phase::Planning);
         let t0 = Instant::now();
         let prescription = self.function_layer.repository.get(&spec.prescription)?.clone();
         prescription.validate()?;
-        phases.push(PhaseTiming { phase: Phase::Planning, duration: t0.elapsed() });
+        finish_phase(&trace, Phase::Planning, t0);
 
         // ---- 2. Data generation ----
+        trace.phase_started(Phase::DataGeneration);
         let t0 = Instant::now();
         let mut datasets: BTreeMap<String, Dataset> = BTreeMap::new();
         let mut data_summary = Vec::new();
         let mut generation_rate = None;
         let mut generation: Option<GenerationMetrics> = None;
-        // The spec's worker knob wins; otherwise the exec-layer system
-        // config decides (its default, 1, means sequential; 0 means
+        // An explicit spec worker knob wins; otherwise the exec-layer
+        // system config decides (its default, 1, means sequential; 0 means
         // available parallelism).
-        let workers = pool::effective_workers(if spec.generator_workers != 1 {
+        let workers = pool::effective_workers(
             spec.generator_workers
-        } else {
-            self.execution_layer.system_config.generator_workers
-        });
+                .unwrap_or(self.execution_layer.system_config.generator_workers),
+        );
         for (i, data_spec) in prescription.data.iter().enumerate() {
             let generator = self.function_layer.generators.build(&data_spec.generator)?;
             let items = spec.scale.unwrap_or(data_spec.items);
@@ -147,10 +161,11 @@ impl Benchmark {
             } else {
                 generator.generate(seed, &VolumeSpec::Items(items))?
             };
+            let gen_elapsed = gen_started.elapsed();
             let gm = GenerationMetrics::measure(
                 dataset.item_count() as u64,
                 dataset.byte_size() as u64,
-                gen_started.elapsed(),
+                gen_elapsed,
                 workers,
             );
             if spec.target_rate.is_none() && workers > 1 {
@@ -160,6 +175,14 @@ impl Benchmark {
                 Some(total) => total.merge(&gm),
                 None => generation = Some(gm),
             }
+            trace.record(TraceEvent::DatasetGenerated {
+                name: data_spec.name.clone(),
+                kind: dataset.kind().to_string(),
+                items: dataset.item_count() as u64,
+                bytes: dataset.byte_size() as u64,
+                workers,
+                micros: gen_elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            });
             data_summary.push((
                 data_spec.name.clone(),
                 dataset.kind().to_string(),
@@ -168,22 +191,38 @@ impl Benchmark {
             ));
             datasets.insert(data_spec.name.clone(), dataset);
         }
-        phases.push(PhaseTiming { phase: Phase::DataGeneration, duration: t0.elapsed() });
+        finish_phase(&trace, Phase::DataGeneration, t0);
 
         // ---- 3. Test generation ----
+        trace.phase_started(Phase::TestGeneration);
         let t0 = Instant::now();
         let test = TestGenerator::materialize(prescription, spec.system, spec.seed)?;
-        phases.push(PhaseTiming { phase: Phase::TestGeneration, duration: t0.elapsed() });
+        finish_phase(&trace, Phase::TestGeneration, t0);
 
         // ---- 4. Execution ----
+        trace.phase_started(Phase::Execution);
         let t0 = Instant::now();
-        let results = self.execute(&test.prescription, spec, datasets)?;
-        phases.push(PhaseTiming { phase: Phase::Execution, duration: t0.elapsed() });
+        let scale = spec
+            .scale
+            .unwrap_or_else(|| test.prescription.data.first().map_or(1000, |d| d.items));
+        let request = ExecutionRequest {
+            prescription: &test.prescription,
+            system: spec.system,
+            seed: spec.seed,
+            scale,
+            datasets: &datasets,
+            config: &self.execution_layer.system_config,
+            trace: &trace,
+        };
+        let results = self.execution_layer.engines.dispatch(&request)?;
+        finish_phase(&trace, Phase::Execution, t0);
 
         // ---- 5. Analysis & evaluation ----
+        trace.phase_started(Phase::Analysis);
         let t0 = Instant::now();
-        let analysis = render_analysis(&spec.name, &results, &data_summary, generation.as_ref());
-        phases.push(PhaseTiming { phase: Phase::Analysis, duration: t0.elapsed() });
+        let analysis =
+            render_analysis(&spec.name, &results, &data_summary, generation.as_ref(), &trace);
+        finish_phase(&trace, Phase::Analysis, t0);
 
         Ok(BenchmarkRun {
             name: spec.name.clone(),
@@ -193,204 +232,10 @@ impl Benchmark {
             generation,
             results,
             analysis,
+            trace,
         })
     }
 
-    /// Dispatch a prescribed test to the right engine/kernel.
-    fn execute(
-        &self,
-        prescription: &Prescription,
-        spec: &BenchmarkSpec,
-        datasets: BTreeMap<String, Dataset>,
-    ) -> Result<Vec<WorkloadResult>> {
-        let ops = prescription.pattern.operations();
-        let scale = spec.scale.unwrap_or_else(|| {
-            prescription.data.first().map_or(1000, |d| d.items)
-        });
-        let job = JobConfig {
-            workers: self.execution_layer.system_config.threads,
-            ..JobConfig::default()
-        };
-
-        // Stream kernels.
-        if let Some(Operation::WindowAggregate { window_ms, .. }) =
-            ops.iter().find(|o| matches!(o, Operation::WindowAggregate { .. }))
-        {
-            let events = datasets
-                .values()
-                .find_map(|d| match d {
-                    Dataset::Stream(e) => Some(e.clone()),
-                    _ => None,
-                })
-                .ok_or_else(|| {
-                    BdbError::Execution("window aggregation needs a stream data set".into())
-                })?;
-            let cfg = bdb_workloads::streaming::StreamAnalyticsConfig {
-                window_ms: *window_ms,
-                ..Default::default()
-            };
-            return Ok(vec![bdb_workloads::streaming::windowed_aggregation(events, &cfg).1]);
-        }
-
-        // Text kernels.
-        if ops.iter().any(|o| matches!(o, Operation::WordCount)) {
-            let docs = expect_text(&datasets)?;
-            let r = match spec.system {
-                SystemKind::MapReduce => micro::wordcount_mapreduce(docs, &job).1,
-                _ => micro::wordcount_native(docs).1,
-            };
-            return Ok(vec![r]);
-        }
-        if let Some(Operation::Grep { pattern }) =
-            ops.iter().find(|o| matches!(o, Operation::Grep { .. }))
-        {
-            let (docs, vocab) = expect_text_with_vocab(&datasets)?;
-            let r = match spec.system {
-                SystemKind::MapReduce => micro::grep_mapreduce(docs, vocab, pattern, &job).1,
-                _ => micro::grep_native(docs, vocab, pattern).1,
-            };
-            return Ok(vec![r]);
-        }
-
-        // Iterative kernels dispatch on the data kind and fold function.
-        if let WorkloadPattern::Iterative { body, .. } = &prescription.pattern {
-            let agg = body.iter().find_map(|s| match &s.op {
-                Operation::Aggregate { function, .. } => Some(*function),
-                _ => None,
-            });
-            if let Some(Dataset::Graph(g)) = datasets.values().find(|d| matches!(d, Dataset::Graph(_))) {
-                let r = match agg {
-                    Some(AggSpec::Min) => {
-                        // Connected components over the undirected closure.
-                        let mut und = g.clone();
-                        for &(u, v) in g.edges() {
-                            und.add_edge(v, u);
-                        }
-                        social::connected_components(&und.to_csr()).2
-                    }
-                    _ => match spec.system {
-                        SystemKind::MapReduce => {
-                            search::pagerank_mapreduce(g, &Default::default(), &job).2
-                        }
-                        _ => search::pagerank_native(&g.to_csr(), &Default::default()).2,
-                    },
-                };
-                return Ok(vec![r]);
-            }
-            // Table-backed iteration: k-means over feature vectors.
-            let (points, _) = social::gaussian_mixture(scale as usize, 4, 3, 2.0, spec.seed);
-            let r = match spec.system {
-                SystemKind::MapReduce => {
-                    social::kmeans_mapreduce(&points, &Default::default(), spec.seed, &job).3
-                }
-                _ => social::kmeans_native(&points, &Default::default(), spec.seed).3,
-            };
-            return Ok(vec![r]);
-        }
-
-        // Element-op mixes run as an OLTP driver on the KV store.
-        let element_ops: Vec<&Operation> = ops
-            .iter()
-            .filter(|o| {
-                matches!(
-                    o,
-                    Operation::Get { .. }
-                        | Operation::Put { .. }
-                        | Operation::UpdateKey { .. }
-                        | Operation::DeleteKey { .. }
-                        | Operation::ScanRange { .. }
-                )
-            })
-            .copied()
-            .collect();
-        if !element_ops.is_empty() {
-            let n = element_ops.len() as f64;
-            let frac = |pred: fn(&Operation) -> bool| -> f64 {
-                element_ops.iter().filter(|o| pred(o)).count() as f64 / n
-            };
-            let spec_kv = oltp::YcsbSpec {
-                name: "prescribed",
-                read: frac(|o| matches!(o, Operation::Get { .. })),
-                update: frac(|o| matches!(o, Operation::UpdateKey { .. })),
-                insert: frac(|o| matches!(o, Operation::Put { .. }))
-                    + frac(|o| matches!(o, Operation::DeleteKey { .. })),
-                scan: frac(|o| matches!(o, Operation::ScanRange { .. })),
-                rmw: 0.0,
-                zipf_exponent: 0.99,
-                scan_len: element_ops
-                    .iter()
-                    .find_map(|o| match o {
-                        Operation::ScanRange { limit, .. } => Some(*limit),
-                        _ => None,
-                    })
-                    .unwrap_or(0),
-            };
-            let config = oltp::YcsbConfig {
-                record_count: scale,
-                operation_count: scale * 2,
-                clients: self.execution_layer.system_config.effective_threads().min(8),
-                value_size: 100,
-            };
-            return Ok(vec![oltp::run_ycsb(&spec_kv, &config, spec.seed).2]);
-        }
-
-        // Everything else: a table pattern bound to an engine.
-        let tables: BTreeMap<String, bdb_common::record::Table> = datasets
-            .into_iter()
-            .filter_map(|(k, v)| match v {
-                Dataset::Table(t) => Some((k, t)),
-                _ => None,
-            })
-            .collect();
-        if tables.is_empty() {
-            return Err(BdbError::Execution(format!(
-                "no executable dispatch for prescription {}",
-                prescription.name
-            )));
-        }
-        let (bound, system_name) = match spec.system {
-            SystemKind::MapReduce => (
-                MapReduceBinding { config: job }.execute(&prescription.pattern, &tables)?,
-                "mapreduce",
-            ),
-            _ => (SqlBinding.execute(&prescription.pattern, &tables)?, "sql"),
-        };
-        let mut collector = bdb_metrics::MetricsCollector::new();
-        collector.record_operations(bound.output.len() as u64);
-        let user = collector.finish();
-        let result = WorkloadResult::assemble(
-            &prescription.name,
-            system_name,
-            WorkloadCategory::RealTimeAnalytics,
-            user,
-            bdb_metrics::OpCounts { record_ops: bound.record_ops, float_ops: 0 },
-            scale,
-        )
-        .with_detail("output_rows", bound.output.len() as f64);
-        Ok(vec![result])
-    }
-}
-
-fn expect_text(datasets: &BTreeMap<String, Dataset>) -> Result<&Vec<bdb_common::text::Document>> {
-    datasets
-        .values()
-        .find_map(|d| match d {
-            Dataset::Text { docs, .. } => Some(docs),
-            _ => None,
-        })
-        .ok_or_else(|| BdbError::Execution("prescription needs a text data set".into()))
-}
-
-fn expect_text_with_vocab(
-    datasets: &BTreeMap<String, Dataset>,
-) -> Result<(&Vec<bdb_common::text::Document>, &bdb_common::text::Vocabulary)> {
-    datasets
-        .values()
-        .find_map(|d| match d {
-            Dataset::Text { docs, vocab } => Some((docs, vocab)),
-            _ => None,
-        })
-        .ok_or_else(|| BdbError::Execution("prescription needs a text data set".into()))
 }
 
 fn render_analysis(
@@ -398,6 +243,7 @@ fn render_analysis(
     results: &[WorkloadResult],
     data_summary: &[(String, String, usize, usize)],
     generation: Option<&GenerationMetrics>,
+    trace: &RunTrace,
 ) -> String {
     let mut data = TableReporter::new(
         &format!("{name}: generated data"),
@@ -414,6 +260,17 @@ fn render_analysis(
             g.workers
         )
     });
+    let dispatch_lines: String = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::EngineDispatched { prescription, engine, explicit, .. } => Some(format!(
+                "dispatch: {prescription} -> {engine} engine ({})\n",
+                if *explicit { "requested system" } else { "capability fallback" }
+            )),
+            _ => None,
+        })
+        .collect();
     let mut table = TableReporter::new(
         &format!("{name}: results"),
         &["workload", "system", "category", "secs", "ops/s", "Mrops", "joules", "dollars"],
@@ -430,12 +287,14 @@ fn render_analysis(
             fmt_num(r.report.cost_dollars),
         ]);
     }
-    format!("{}\n{}{}", data.to_text(), gen_line, table.to_text())
+    format!("{}\n{}{}{}", data.to_text(), gen_line, dispatch_lines, table.to_text())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bdb_testgen::SystemKind;
+    use bdb_workloads::WorkloadCategory;
 
     fn run(prescription: &str, system: SystemKind, scale: u64) -> BenchmarkRun {
         let spec = BenchmarkSpec::new("test")
@@ -462,6 +321,23 @@ mod tests {
         );
         assert_eq!(r.results.len(), 1);
         assert!(r.analysis.contains("micro/wordcount"));
+        // The structured trace spans all five Figure 1 phases and saw the
+        // dispatch decision plus at least one executed operation.
+        assert!(!r.trace.is_empty());
+        assert_eq!(
+            r.trace.phases_finished(),
+            vec![
+                "analysis",
+                "data generation",
+                "execution",
+                "planning",
+                "test generation"
+            ]
+        );
+        let events = r.trace.events();
+        assert!(events.iter().any(|e| e.label() == "dataset_generated"));
+        assert!(events.iter().any(|e| e.label() == "engine_dispatched"));
+        assert!(events.iter().any(|e| e.label() == "operation_executed"));
     }
 
     #[test]

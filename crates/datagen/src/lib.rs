@@ -91,7 +91,7 @@ impl Dataset {
 }
 
 /// The four representative data sources named by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DataSourceKind {
     /// Structured data.
     Table,

@@ -256,6 +256,26 @@ pub fn plain_text_to_corpus(text: &str) -> (Vec<Document>, Vocabulary) {
     (docs, vocab)
 }
 
+/// Serialise run-trace events as JSON-lines (one event per line).
+pub fn trace_to_jsonl(events: &[crate::trace::TraceEvent]) -> Result<String> {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(
+            &serde_json::to_string(e).map_err(|e| BdbError::Format(e.to_string()))?,
+        );
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parse JSON-lines back into run-trace events.
+pub fn jsonl_to_trace(text: &str) -> Result<Vec<crate::trace::TraceEvent>> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).map_err(|e| BdbError::Format(e.to_string())))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,5 +382,25 @@ mod tests {
     #[test]
     fn separator_is_undefined_for_other_formats() {
         assert!(table_to_delimited(&sample(), DataFormat::Binary).is_err());
+    }
+
+    #[test]
+    fn trace_jsonl_round_trip() {
+        use crate::trace::TraceEvent;
+        let events = vec![
+            TraceEvent::PhaseStarted { phase: "execution".into() },
+            TraceEvent::OperationExecuted {
+                engine: "sql".into(),
+                op: "select".into(),
+                rows_out: 42,
+                micros: 7,
+            },
+            TraceEvent::PhaseFinished { phase: "execution".into(), micros: 99 },
+        ];
+        let jsonl = trace_to_jsonl(&events).unwrap();
+        assert_eq!(jsonl.lines().count(), 3);
+        let back = jsonl_to_trace(&jsonl).unwrap();
+        assert_eq!(events, back);
+        assert!(jsonl_to_trace("not json\n").is_err());
     }
 }

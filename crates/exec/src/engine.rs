@@ -1,0 +1,894 @@
+//! Pluggable engine backends for the Execution Layer.
+//!
+//! "The Execution Layer offers several functions to support the execution
+//! of benchmark tests over different software stacks." Each software
+//! stack is an [`Engine`]: it declares [`Capabilities`] — which
+//! [`SystemKind`]s it implements, which data kinds, operation classes and
+//! pattern shapes it can execute — and runs an [`ExecutionRequest`] into
+//! workload results. An [`EngineRegistry`] routes a prescribed test by
+//! capability match: an engine implementing the requested system wins;
+//! otherwise the first capable engine (in registration order) takes the
+//! test, mirroring BigOP-style automatic mapping of abstract operations
+//! onto concrete systems. Adding a backend is a registry entry, not a
+//! pipeline edit.
+
+use crate::config::SystemConfig;
+use crate::trace::RunTrace;
+use bdb_common::record::Table;
+use bdb_common::text::{Document, Vocabulary};
+use bdb_common::{BdbError, Result};
+use bdb_datagen::{DataSourceKind, Dataset};
+use bdb_mapreduce::JobConfig;
+use bdb_metrics::{MetricsCollector, OpCounts};
+use bdb_testgen::bind::{BoundExecution, MapReduceBinding, PatternExecutor, SqlBinding};
+use bdb_testgen::ops::{AggSpec, Operation};
+use bdb_testgen::pattern::WorkloadPattern;
+use bdb_testgen::{Prescription, SystemKind};
+use bdb_workloads::{micro, oltp, search, social, streaming, WorkloadCategory, WorkloadResult};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// The shape of a prescription's workload pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PatternShape {
+    /// One operation.
+    Single,
+    /// A finite DAG of operations.
+    Multi,
+    /// A body repeated until a stopping condition holds.
+    Iterative,
+}
+
+impl PatternShape {
+    /// The shape of a concrete pattern.
+    pub fn of(pattern: &WorkloadPattern) -> Self {
+        match pattern {
+            WorkloadPattern::Single { .. } => PatternShape::Single,
+            WorkloadPattern::Multi { .. } => PatternShape::Multi,
+            WorkloadPattern::Iterative { .. } => PatternShape::Iterative,
+        }
+    }
+}
+
+impl std::fmt::Display for PatternShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PatternShape::Single => "single",
+            PatternShape::Multi => "multi",
+            PatternShape::Iterative => "iterative",
+        })
+    }
+}
+
+/// The operation class a prescribed test belongs to.
+///
+/// The classes partition the operation taxonomy the way the old dispatch
+/// chain did, in the same precedence order: windowed stream operations,
+/// text kernels, iterative patterns, element-operation mixes, and
+/// relational (single/double-set) table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkloadClass {
+    /// Windowed aggregation over an event stream.
+    Windowed,
+    /// Text kernels (WordCount, grep).
+    Text,
+    /// Iterative convergence workloads (PageRank, k-means, components).
+    Iterative,
+    /// Element-operation mixes (get/put/scan — Cloud OLTP).
+    Element,
+    /// Single/double-set table operations (select, aggregate, join, …).
+    Relational,
+}
+
+impl WorkloadClass {
+    /// Classify a prescription by its pattern and operations, with the
+    /// same precedence the Execution Layer uses for routing.
+    pub fn of(prescription: &Prescription) -> Self {
+        let ops = prescription.pattern.operations();
+        if ops.iter().any(|o| matches!(o, Operation::WindowAggregate { .. })) {
+            return WorkloadClass::Windowed;
+        }
+        if ops
+            .iter()
+            .any(|o| matches!(o, Operation::WordCount | Operation::Grep { .. }))
+        {
+            return WorkloadClass::Text;
+        }
+        if matches!(prescription.pattern, WorkloadPattern::Iterative { .. }) {
+            return WorkloadClass::Iterative;
+        }
+        if ops.iter().any(|o| {
+            matches!(
+                o,
+                Operation::Get { .. }
+                    | Operation::Put { .. }
+                    | Operation::UpdateKey { .. }
+                    | Operation::DeleteKey { .. }
+                    | Operation::ScanRange { .. }
+            )
+        }) {
+            return WorkloadClass::Element;
+        }
+        WorkloadClass::Relational
+    }
+}
+
+impl std::fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WorkloadClass::Windowed => "windowed",
+            WorkloadClass::Text => "text",
+            WorkloadClass::Iterative => "iterative",
+            WorkloadClass::Element => "element",
+            WorkloadClass::Relational => "relational",
+        })
+    }
+}
+
+/// What an engine can execute.
+#[derive(Debug, Clone)]
+pub struct Capabilities {
+    /// The [`SystemKind`]s this engine implements.
+    pub systems: Vec<SystemKind>,
+    /// Operation classes the engine executes.
+    pub classes: Vec<WorkloadClass>,
+    /// Data kinds the engine consumes.
+    pub data_kinds: Vec<DataSourceKind>,
+    /// Pattern shapes the engine understands.
+    pub patterns: Vec<PatternShape>,
+}
+
+impl Capabilities {
+    /// Can the engine execute a test with this profile? True when the
+    /// shape and class are supported and every present data kind is
+    /// consumable.
+    pub fn supports(&self, profile: &TestProfile) -> bool {
+        self.patterns.contains(&profile.shape)
+            && self.classes.contains(&profile.class)
+            && profile.data_kinds.iter().all(|k| self.data_kinds.contains(k))
+    }
+
+    /// True when the engine implements `system`.
+    pub fn implements(&self, system: SystemKind) -> bool {
+        self.systems.contains(&system)
+    }
+
+    /// One-line rendering for `bdbench list`.
+    pub fn summary(&self) -> String {
+        let join = |parts: Vec<String>| parts.join(",");
+        format!(
+            "systems={} classes={} data={} patterns={}",
+            join(self.systems.iter().map(|s| s.to_string()).collect()),
+            join(self.classes.iter().map(|c| c.to_string()).collect()),
+            join(self.data_kinds.iter().map(|k| k.to_string()).collect()),
+            join(self.patterns.iter().map(|p| p.to_string()).collect()),
+        )
+    }
+}
+
+/// The routing-relevant profile of a prescribed test.
+#[derive(Debug, Clone)]
+pub struct TestProfile {
+    /// Pattern shape.
+    pub shape: PatternShape,
+    /// Operation class.
+    pub class: WorkloadClass,
+    /// Kinds of the generated input data sets.
+    pub data_kinds: Vec<DataSourceKind>,
+}
+
+/// Everything an engine needs to execute one prescribed test.
+#[derive(Debug)]
+pub struct ExecutionRequest<'a> {
+    /// The abstract test to execute.
+    pub prescription: &'a Prescription,
+    /// The system the spec requested.
+    pub system: SystemKind,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Data volume (items) of the run.
+    pub scale: u64,
+    /// The generated input data sets, by prescription data-spec name.
+    pub datasets: &'a BTreeMap<String, Dataset>,
+    /// Engine configuration.
+    pub config: &'a SystemConfig,
+    /// The run's structured event sink.
+    pub trace: &'a RunTrace,
+}
+
+impl ExecutionRequest<'_> {
+    /// The routing profile of this request.
+    pub fn profile(&self) -> TestProfile {
+        let kinds: BTreeSet<DataSourceKind> =
+            self.datasets.values().map(Dataset::kind).collect();
+        TestProfile {
+            shape: PatternShape::of(&self.prescription.pattern),
+            class: WorkloadClass::of(self.prescription),
+            data_kinds: kinds.into_iter().collect(),
+        }
+    }
+
+    /// The MapReduce job configuration derived from the system config.
+    pub fn job_config(&self) -> JobConfig {
+        JobConfig { workers: self.config.threads, ..JobConfig::default() }
+    }
+
+    fn text_dataset(&self) -> Result<(&Vec<Document>, &Vocabulary)> {
+        self.datasets
+            .values()
+            .find_map(|d| match d {
+                Dataset::Text { docs, vocab } => Some((docs, vocab)),
+                _ => None,
+            })
+            .ok_or_else(|| BdbError::Execution("prescription needs a text data set".into()))
+    }
+
+    fn first_table(&self) -> Result<&Table> {
+        self.datasets
+            .values()
+            .find_map(|d| match d {
+                Dataset::Table(t) => Some(t),
+                _ => None,
+            })
+            .ok_or_else(|| BdbError::Execution("prescription needs a table data set".into()))
+    }
+}
+
+/// A pluggable execution backend.
+pub trait Engine: Send + Sync {
+    /// Engine name, used in reports and dispatch traces.
+    fn name(&self) -> &'static str;
+
+    /// What the engine can execute.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Execute a prescribed test.
+    fn execute(&self, request: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>>;
+}
+
+/// The outcome of routing a request through the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Routing {
+    /// The chosen engine's name.
+    pub engine: String,
+    /// Whether the requested [`SystemKind`] selected the engine (`false`
+    /// means capability fallback).
+    pub explicit: bool,
+}
+
+/// The Execution Layer's table of registered engines.
+///
+/// Routing policy: the first registered engine that both *implements the
+/// requested system* and *supports the test profile* wins; failing that,
+/// the first engine that supports the profile takes the test. When no
+/// engine is capable the error lists every candidate with its
+/// capabilities.
+pub struct EngineRegistry {
+    engines: Vec<Box<dyn Engine>>,
+}
+
+impl std::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineRegistry").field("engines", &self.names()).finish()
+    }
+}
+
+impl Default for EngineRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self { engines: Vec::new() }
+    }
+
+    /// The five built-in backends. Registration order is the capability
+    /// fallback order: native kernels, then the SQL engine, the KV store,
+    /// the streaming engine, and the (most general) MapReduce engine last.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(NativeEngine));
+        r.register(Box::new(SqlEngine));
+        r.register(Box::new(KvEngine));
+        r.register(Box::new(StreamingEngine));
+        r.register(Box::new(MapReduceEngine));
+        r
+    }
+
+    /// Append an engine (later entries lose capability-fallback ties).
+    pub fn register(&mut self, engine: Box<dyn Engine>) {
+        self.engines.push(engine);
+    }
+
+    /// Registered engine names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Iterate the registered engines.
+    pub fn engines(&self) -> impl Iterator<Item = &dyn Engine> {
+        self.engines.iter().map(Box::as_ref)
+    }
+
+    /// Pick the engine for a request without executing it.
+    pub fn route(&self, request: &ExecutionRequest<'_>) -> Result<(&dyn Engine, Routing)> {
+        let profile = request.profile();
+        let capable: Vec<&dyn Engine> = self
+            .engines
+            .iter()
+            .map(Box::as_ref)
+            .filter(|e| e.capabilities().supports(&profile))
+            .collect();
+        let explicit = capable
+            .iter()
+            .find(|e| e.capabilities().implements(request.system))
+            .copied();
+        if let Some(engine) = explicit {
+            return Ok((engine, Routing { engine: engine.name().into(), explicit: true }));
+        }
+        if let Some(engine) = capable.first().copied() {
+            return Ok((engine, Routing { engine: engine.name().into(), explicit: false }));
+        }
+        let candidates = self
+            .engines
+            .iter()
+            .map(|e| format!("{} [{}]", e.name(), e.capabilities().summary()))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(BdbError::Execution(format!(
+            "no engine can execute prescription {} (system={}, class={}, pattern={}, data={}); candidate engines: {}",
+            request.prescription.name,
+            request.system,
+            profile.class,
+            profile.shape,
+            profile
+                .data_kinds
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            if candidates.is_empty() { "(none registered)".into() } else { candidates },
+        )))
+    }
+
+    /// Route a request, record the dispatch decision in the trace, and
+    /// execute it.
+    pub fn dispatch(&self, request: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        let (engine, routing) = self.route(request)?;
+        request.trace.record(crate::trace::TraceEvent::EngineDispatched {
+            prescription: request.prescription.name.clone(),
+            engine: routing.engine.clone(),
+            requested_system: request.system.to_string(),
+            explicit: routing.explicit,
+            candidates: self.names().iter().map(|n| n.to_string()).collect(),
+        });
+        engine.execute(request)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+/// A 32-bit order-independent-input, canonical-order hash of a bound
+/// execution's output rows, comparable across engines (kept within the
+/// integer range `f64` represents exactly so it can ride in a result
+/// detail).
+fn output_hash(bound: &BoundExecution) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in bound.sorted_rows() {
+        for v in &row {
+            for b in v.to_string().bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x2f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h & 0xFFFF_FFFF
+}
+
+/// Run a table-pattern binding and assemble the uniform result, emitting
+/// one trace event per executed DAG step.
+fn execute_table_binding(
+    binding: &dyn PatternExecutor,
+    engine: &'static str,
+    req: &ExecutionRequest<'_>,
+) -> Result<Vec<WorkloadResult>> {
+    let tables: BTreeMap<String, Table> = req
+        .datasets
+        .iter()
+        .filter_map(|(k, v)| match v {
+            Dataset::Table(t) => Some((k.clone(), t.clone())),
+            _ => None,
+        })
+        .collect();
+    if tables.is_empty() {
+        return Err(BdbError::Execution(format!(
+            "engine {engine} needs a table data set for prescription {}",
+            req.prescription.name
+        )));
+    }
+    let bound = binding.execute(&req.prescription.pattern, &tables)?;
+    for step in &bound.steps {
+        req.trace.operation(engine, &step.op, step.rows_out, step.elapsed);
+    }
+    let mut collector = MetricsCollector::new();
+    collector.record_operations(bound.output.len() as u64);
+    let user = collector.finish_with_duration(bound.elapsed);
+    let result = WorkloadResult::assemble(
+        &req.prescription.name,
+        engine,
+        WorkloadCategory::RealTimeAnalytics,
+        user,
+        OpCounts { record_ops: bound.record_ops, float_ops: 0 },
+        req.scale,
+    )
+    .with_detail("output_rows", bound.output.len() as f64)
+    .with_detail("output_hash", output_hash(&bound) as f64);
+    Ok(vec![result])
+}
+
+/// The aggregate function of an iterative pattern's body, which selects
+/// the iterative kernel (Min → connected components, Avg → k-means
+/// centroids, otherwise PageRank-style rank summation).
+fn iterative_agg(pattern: &WorkloadPattern) -> Option<AggSpec> {
+    match pattern {
+        WorkloadPattern::Iterative { body, .. } => body.iter().find_map(|s| match &s.op {
+            Operation::Aggregate { function, .. } => Some(*function),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+fn timed<T>(
+    req: &ExecutionRequest<'_>,
+    engine: &'static str,
+    op: &str,
+    f: impl FnOnce() -> T,
+    rows: impl FnOnce(&T) -> u64,
+) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    req.trace.operation(engine, op, rows(&out), t0.elapsed());
+    out
+}
+
+// ---------------------------------------------------------------------
+// Built-in engines
+// ---------------------------------------------------------------------
+
+/// Hand-written native kernels (`bdb-workloads`): text and iterative
+/// workloads on in-memory data structures.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NativeEngine;
+
+impl Engine for NativeEngine {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            systems: vec![SystemKind::Native],
+            classes: vec![WorkloadClass::Text, WorkloadClass::Iterative],
+            data_kinds: vec![
+                DataSourceKind::Text,
+                DataSourceKind::Graph,
+                DataSourceKind::Table,
+            ],
+            patterns: vec![PatternShape::Single, PatternShape::Multi, PatternShape::Iterative],
+        }
+    }
+
+    fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        let ops = req.prescription.pattern.operations();
+        match WorkloadClass::of(req.prescription) {
+            WorkloadClass::Text => {
+                let (docs, vocab) = req.text_dataset()?;
+                let r = if let Some(Operation::Grep { pattern }) =
+                    ops.iter().find(|o| matches!(o, Operation::Grep { .. }))
+                {
+                    timed(req, "native", "grep", || {
+                        micro::grep_native(docs, vocab, pattern)
+                    }, |r| r.0.len() as u64)
+                    .1
+                } else {
+                    timed(req, "native", "wordcount", || {
+                        micro::wordcount_native(docs)
+                    }, |r| r.0.len() as u64)
+                    .1
+                };
+                Ok(vec![r])
+            }
+            WorkloadClass::Iterative => execute_iterative(req, IterativeBackend::Native),
+            other => Err(BdbError::Execution(format!(
+                "native engine cannot execute {other} workloads"
+            ))),
+        }
+    }
+}
+
+/// Which concrete kernels an iterative prescription lowers to.
+enum IterativeBackend {
+    Native,
+    MapReduce,
+}
+
+/// Iterative dispatch shared by the native and MapReduce engines: graph
+/// data runs connected components (Min fold) or PageRank; table data runs
+/// k-means over the generated feature vectors.
+fn execute_iterative(
+    req: &ExecutionRequest<'_>,
+    backend: IterativeBackend,
+) -> Result<Vec<WorkloadResult>> {
+    let agg = iterative_agg(&req.prescription.pattern);
+    let engine = match backend {
+        IterativeBackend::Native => "native",
+        IterativeBackend::MapReduce => "mapreduce",
+    };
+    if let Some(Dataset::Graph(g)) =
+        req.datasets.values().find(|d| matches!(d, Dataset::Graph(_)))
+    {
+        let r = if agg == Some(AggSpec::Min) {
+            // Connected components over the undirected closure.
+            let mut und = g.clone();
+            for &(u, v) in g.edges() {
+                und.add_edge(v, u);
+            }
+            let csr = und.to_csr();
+            match backend {
+                IterativeBackend::Native => {
+                    timed(req, engine, "aggregate", || {
+                        social::connected_components(&csr)
+                    }, |r| r.0.len() as u64)
+                    .2
+                }
+                IterativeBackend::MapReduce => {
+                    let job = req.job_config();
+                    timed(req, engine, "aggregate", || {
+                        social::connected_components_mapreduce(&csr, &job)
+                    }, |r| r.0.len() as u64)
+                    .2
+                }
+            }
+        } else {
+            match backend {
+                IterativeBackend::Native => {
+                    let csr = g.to_csr();
+                    timed(req, engine, "aggregate", || {
+                        search::pagerank_native(&csr, &Default::default())
+                    }, |r| r.0.len() as u64)
+                    .2
+                }
+                IterativeBackend::MapReduce => {
+                    let job = req.job_config();
+                    timed(req, engine, "aggregate", || {
+                        search::pagerank_mapreduce(g, &Default::default(), &job)
+                    }, |r| r.0.len() as u64)
+                    .2
+                }
+            }
+        };
+        return Ok(vec![r]);
+    }
+    // Table-backed iteration: k-means over the *generated* table's numeric
+    // columns, so --scale/--seed data actually reaches the kernel.
+    let table = req.first_table()?;
+    let points = social::points_from_table(table)?;
+    let n = points.len();
+    let r = match backend {
+        IterativeBackend::Native => {
+            timed(req, engine, "aggregate", || {
+                social::kmeans_native(&points, &Default::default(), req.seed)
+            }, |r| r.1.len() as u64)
+            .3
+        }
+        IterativeBackend::MapReduce => {
+            let job = req.job_config();
+            timed(req, engine, "aggregate", || {
+                social::kmeans_mapreduce(&points, &Default::default(), req.seed, &job)
+            }, |r| r.1.len() as u64)
+            .3
+        }
+    };
+    Ok(vec![r.with_detail("input_points", n as f64)])
+}
+
+/// The MapReduce engine (`bdb-mapreduce`): text kernels, iterative jobs,
+/// and relational patterns lowered to map/reduce rounds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MapReduceEngine;
+
+impl Engine for MapReduceEngine {
+    fn name(&self) -> &'static str {
+        "mapreduce"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            systems: vec![SystemKind::MapReduce],
+            classes: vec![
+                WorkloadClass::Text,
+                WorkloadClass::Iterative,
+                WorkloadClass::Relational,
+            ],
+            data_kinds: vec![
+                DataSourceKind::Text,
+                DataSourceKind::Graph,
+                DataSourceKind::Table,
+            ],
+            patterns: vec![PatternShape::Single, PatternShape::Multi, PatternShape::Iterative],
+        }
+    }
+
+    fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        let ops = req.prescription.pattern.operations();
+        match WorkloadClass::of(req.prescription) {
+            WorkloadClass::Text => {
+                let (docs, vocab) = req.text_dataset()?;
+                let job = req.job_config();
+                let r = if let Some(Operation::Grep { pattern }) =
+                    ops.iter().find(|o| matches!(o, Operation::Grep { .. }))
+                {
+                    timed(req, "mapreduce", "grep", || {
+                        micro::grep_mapreduce(docs, vocab, pattern, &job)
+                    }, |r| r.0.len() as u64)
+                    .1
+                } else {
+                    timed(req, "mapreduce", "wordcount", || {
+                        micro::wordcount_mapreduce(docs, &job)
+                    }, |r| r.0.len() as u64)
+                    .1
+                };
+                Ok(vec![r])
+            }
+            WorkloadClass::Iterative => execute_iterative(req, IterativeBackend::MapReduce),
+            WorkloadClass::Relational => execute_table_binding(
+                &MapReduceBinding { config: req.job_config() },
+                "mapreduce",
+                req,
+            ),
+            other => Err(BdbError::Execution(format!(
+                "mapreduce engine cannot execute {other} workloads"
+            ))),
+        }
+    }
+}
+
+/// The relational engine (`bdb-sql`): table patterns lowered to logical
+/// plans.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SqlEngine;
+
+impl Engine for SqlEngine {
+    fn name(&self) -> &'static str {
+        "sql"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            systems: vec![SystemKind::Sql],
+            classes: vec![WorkloadClass::Relational],
+            data_kinds: vec![DataSourceKind::Table],
+            patterns: vec![PatternShape::Single, PatternShape::Multi],
+        }
+    }
+
+    fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        execute_table_binding(&SqlBinding, "sql", req)
+    }
+}
+
+/// The key-value engine (`bdb-kv`): element-operation mixes run as a
+/// YCSB-style driver against the LSM store.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KvEngine;
+
+impl Engine for KvEngine {
+    fn name(&self) -> &'static str {
+        "kv"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            systems: vec![SystemKind::KeyValue],
+            classes: vec![WorkloadClass::Element],
+            data_kinds: vec![DataSourceKind::Table],
+            patterns: vec![PatternShape::Single, PatternShape::Multi],
+        }
+    }
+
+    fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        let element_ops: Vec<&Operation> = req
+            .prescription
+            .pattern
+            .operations()
+            .into_iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Operation::Get { .. }
+                        | Operation::Put { .. }
+                        | Operation::UpdateKey { .. }
+                        | Operation::DeleteKey { .. }
+                        | Operation::ScanRange { .. }
+                )
+            })
+            .collect();
+        if element_ops.is_empty() {
+            return Err(BdbError::Execution(format!(
+                "kv engine needs element operations in prescription {}",
+                req.prescription.name
+            )));
+        }
+        let n = element_ops.len() as f64;
+        let frac = |pred: fn(&Operation) -> bool| -> f64 {
+            element_ops.iter().filter(|o| pred(o)).count() as f64 / n
+        };
+        let spec = oltp::YcsbSpec {
+            name: "prescribed",
+            read: frac(|o| matches!(o, Operation::Get { .. })),
+            update: frac(|o| matches!(o, Operation::UpdateKey { .. })),
+            insert: frac(|o| matches!(o, Operation::Put { .. }))
+                + frac(|o| matches!(o, Operation::DeleteKey { .. })),
+            scan: frac(|o| matches!(o, Operation::ScanRange { .. })),
+            rmw: 0.0,
+            zipf_exponent: 0.99,
+            scan_len: element_ops
+                .iter()
+                .find_map(|o| match o {
+                    Operation::ScanRange { limit, .. } => Some(*limit),
+                    _ => None,
+                })
+                .unwrap_or(0),
+        };
+        let config = oltp::YcsbConfig {
+            record_count: req.scale,
+            operation_count: req.scale * 2,
+            clients: req.config.effective_threads().min(8),
+            value_size: 100,
+        };
+        let r = timed(req, "kv", "element-mix", || {
+            oltp::run_ycsb(&spec, &config, req.seed)
+        }, |r| r.1.reads + r.1.updates + r.1.inserts + r.1.scans + r.1.rmws)
+        .2;
+        Ok(vec![r])
+    }
+}
+
+/// The streaming engine (`bdb-stream`): windowed aggregation over event
+/// streams.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StreamingEngine;
+
+impl Engine for StreamingEngine {
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            systems: vec![SystemKind::Streaming],
+            classes: vec![WorkloadClass::Windowed],
+            data_kinds: vec![DataSourceKind::Stream],
+            patterns: vec![PatternShape::Single],
+        }
+    }
+
+    fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        let window_ms = req
+            .prescription
+            .pattern
+            .operations()
+            .iter()
+            .find_map(|o| match o {
+                Operation::WindowAggregate { window_ms, .. } => Some(*window_ms),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                BdbError::Execution("streaming engine needs a window-aggregate operation".into())
+            })?;
+        let events = req
+            .datasets
+            .values()
+            .find_map(|d| match d {
+                Dataset::Stream(e) => Some(e.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| {
+                BdbError::Execution("window aggregation needs a stream data set".into())
+            })?;
+        let cfg = streaming::StreamAnalyticsConfig { window_ms, ..Default::default() };
+        let r = timed(
+            req,
+            "streaming",
+            "window-aggregate",
+            || streaming::windowed_aggregation(events, &cfg),
+            |r| r.0.windows.len() as u64,
+        )
+        .1;
+        Ok(vec![r])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_testgen::repository::builtin_prescriptions;
+
+    fn prescription(name: &str) -> Prescription {
+        builtin_prescriptions()
+            .into_iter()
+            .find(|p| p.name == name)
+            .expect("builtin prescription exists")
+    }
+
+    #[test]
+    fn classes_match_the_old_dispatch_precedence() {
+        for (name, class) in [
+            ("streaming/window-aggregation", WorkloadClass::Windowed),
+            ("micro/wordcount", WorkloadClass::Text),
+            ("micro/grep", WorkloadClass::Text),
+            ("search/pagerank", WorkloadClass::Iterative),
+            ("social/kmeans", WorkloadClass::Iterative),
+            ("oltp/read-mostly", WorkloadClass::Element),
+            ("micro/sort", WorkloadClass::Relational),
+            ("relational/join", WorkloadClass::Relational),
+        ] {
+            assert_eq!(WorkloadClass::of(&prescription(name)), class, "{name}");
+        }
+    }
+
+    #[test]
+    fn builtin_registry_covers_all_system_kinds() {
+        let registry = EngineRegistry::with_builtins();
+        let mut systems = BTreeSet::new();
+        for engine in registry.engines() {
+            for s in engine.capabilities().systems {
+                systems.insert(s.to_string());
+            }
+        }
+        assert_eq!(
+            systems.into_iter().collect::<Vec<_>>(),
+            vec!["kv", "mapreduce", "native", "sql", "streaming"]
+        );
+        assert_eq!(registry.names(), vec!["native", "sql", "kv", "streaming", "mapreduce"]);
+    }
+
+    #[test]
+    fn capability_summary_is_descriptive() {
+        let caps = SqlEngine.capabilities();
+        let s = caps.summary();
+        assert!(s.contains("systems=sql"));
+        assert!(s.contains("classes=relational"));
+        assert!(s.contains("data=table"));
+    }
+
+    #[test]
+    fn empty_registry_reports_no_candidates() {
+        let registry = EngineRegistry::new();
+        let p = prescription("micro/sort");
+        let datasets = BTreeMap::new();
+        let config = SystemConfig::default();
+        let trace = RunTrace::new();
+        let req = ExecutionRequest {
+            prescription: &p,
+            system: SystemKind::Sql,
+            seed: 1,
+            scale: 10,
+            datasets: &datasets,
+            config: &config,
+            trace: &trace,
+        };
+        let err = registry.dispatch(&req).unwrap_err();
+        assert!(err.to_string().contains("none registered"), "{err}");
+    }
+}

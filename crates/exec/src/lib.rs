@@ -13,13 +13,25 @@
 //!   a length-prefixed binary format, all round-trippable.
 //! * [`analyzer`] — result analysis: speedups, winners, crossover points.
 //! * [`reporter`] — plain-text and Markdown table rendering.
+//! * [`engine`] — the pluggable engine abstraction: an [`engine::Engine`]
+//!   trait with declared [`engine::Capabilities`], five builtin engine
+//!   implementations (native, sql, kv, streaming, mapreduce) and a
+//!   capability-routing [`engine::EngineRegistry`].
+//! * [`trace`] — structured phase/dispatch/operation tracing for one run.
 
 pub mod analyzer;
 pub mod config;
 pub mod convert;
+pub mod engine;
 pub mod reporter;
+pub mod trace;
 
 pub use analyzer::{compare, find_crossover, Comparison};
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;
+pub use engine::{
+    Capabilities, Engine, EngineRegistry, ExecutionRequest, PatternShape, Routing, TestProfile,
+    WorkloadClass,
+};
 pub use reporter::TableReporter;
+pub use trace::{RunTrace, TraceEvent};

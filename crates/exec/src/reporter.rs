@@ -99,6 +99,45 @@ impl TableReporter {
     }
 }
 
+/// Render a [`RunTrace`](crate::trace::RunTrace) as an aligned text table:
+/// one row per event, in record order, with the event-specific fields
+/// flattened into a detail column.
+pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
+    use crate::trace::TraceEvent;
+    let mut t = TableReporter::new("Run trace", &["event", "subject", "detail"]);
+    for e in trace.events() {
+        let (subject, detail) = match &e {
+            TraceEvent::PhaseStarted { phase } => (phase.clone(), String::new()),
+            TraceEvent::PhaseFinished { phase, micros } => {
+                (phase.clone(), format!("{micros} us"))
+            }
+            TraceEvent::DatasetGenerated { name, kind, items, bytes, workers, micros } => (
+                name.clone(),
+                format!("{kind}, {items} items, {bytes} bytes, {workers} workers, {micros} us"),
+            ),
+            TraceEvent::EngineDispatched {
+                prescription,
+                engine,
+                requested_system,
+                explicit,
+                candidates,
+            } => (
+                prescription.clone(),
+                format!(
+                    "-> {engine} ({} for system {requested_system}; candidates: {})",
+                    if *explicit { "explicit" } else { "capability fallback" },
+                    candidates.join(", ")
+                ),
+            ),
+            TraceEvent::OperationExecuted { engine, op, rows_out, micros } => {
+                (format!("{engine}/{op}"), format!("{rows_out} rows, {micros} us"))
+            }
+        };
+        t.add_row(&[e.label().to_string(), subject, detail]);
+    }
+    t.to_text()
+}
+
 /// Format a float compactly for table cells.
 pub fn fmt_num(x: f64) -> String {
     if x == 0.0 {
@@ -123,6 +162,19 @@ mod tests {
         t.add_row_strs(&["alpha", "1"]);
         t.add_row(&["beta-long-name".into(), "2".into()]);
         t
+    }
+
+    #[test]
+    fn trace_renders_one_row_per_event() {
+        use crate::trace::RunTrace;
+        let trace = RunTrace::new();
+        trace.phase_started("execution");
+        trace.operation("sql", "sort", 42, std::time::Duration::from_micros(5));
+        let text = render_trace(&trace);
+        assert!(text.contains("== Run trace =="));
+        assert!(text.contains("phase_started"));
+        assert!(text.contains("sql/sort"));
+        assert!(text.contains("42 rows"));
     }
 
     #[test]

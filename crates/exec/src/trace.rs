@@ -1,0 +1,202 @@
+//! Structured run tracing for the Figure 1 process.
+//!
+//! A [`RunTrace`] is an append-only event sink threaded through a
+//! benchmark run: the pipeline records a span per Figure 1 phase, one
+//! event per generated data set, one event per engine-dispatch decision,
+//! and engines record one event per operation they execute. The sink uses
+//! interior mutability so it can ride inside a shared
+//! [`crate::engine::ExecutionRequest`] without threading `&mut`
+//! everywhere. Traces render as a reporter table
+//! ([`crate::reporter::render_trace`]) or dump as JSON-lines
+//! ([`crate::convert::trace_to_jsonl`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One structured event of a benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A Figure 1 phase began.
+    PhaseStarted {
+        /// Phase name ("planning", "data generation", …).
+        phase: String,
+    },
+    /// A Figure 1 phase completed.
+    PhaseFinished {
+        /// Phase name.
+        phase: String,
+        /// Wall-clock duration in microseconds.
+        micros: u64,
+    },
+    /// One input data set was generated.
+    DatasetGenerated {
+        /// Data set name from the prescription.
+        name: String,
+        /// Source kind ("table", "text", "graph", "stream").
+        kind: String,
+        /// Logical items generated.
+        items: u64,
+        /// Approximate bytes generated.
+        bytes: u64,
+        /// Generator workers used.
+        workers: usize,
+        /// Generation wall-clock in microseconds.
+        micros: u64,
+    },
+    /// The registry routed a prescribed test to an engine.
+    EngineDispatched {
+        /// Prescription name.
+        prescription: String,
+        /// The engine chosen.
+        engine: String,
+        /// The system the spec requested.
+        requested_system: String,
+        /// Whether the requested system matched the engine's capabilities
+        /// (`false` means capability fallback picked the engine).
+        explicit: bool,
+        /// All registered engines considered.
+        candidates: Vec<String>,
+    },
+    /// An engine executed one operation (a DAG step or a kernel).
+    OperationExecuted {
+        /// The executing engine.
+        engine: String,
+        /// Operation name.
+        op: String,
+        /// Rows / items the operation produced.
+        rows_out: u64,
+        /// Operation wall-clock in microseconds.
+        micros: u64,
+    },
+}
+
+impl TraceEvent {
+    /// A short label naming the event variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::PhaseStarted { .. } => "phase_started",
+            TraceEvent::PhaseFinished { .. } => "phase_finished",
+            TraceEvent::DatasetGenerated { .. } => "dataset_generated",
+            TraceEvent::EngineDispatched { .. } => "engine_dispatched",
+            TraceEvent::OperationExecuted { .. } => "operation_executed",
+        }
+    }
+}
+
+/// An append-only sink of [`TraceEvent`]s for one benchmark run.
+#[derive(Debug, Default)]
+pub struct RunTrace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl RunTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().expect("trace lock").push(event);
+    }
+
+    /// Record the start of a Figure 1 phase.
+    pub fn phase_started(&self, phase: impl std::fmt::Display) {
+        self.record(TraceEvent::PhaseStarted { phase: phase.to_string() });
+    }
+
+    /// Record the completion of a Figure 1 phase.
+    pub fn phase_finished(&self, phase: impl std::fmt::Display, elapsed: Duration) {
+        self.record(TraceEvent::PhaseFinished {
+            phase: phase.to_string(),
+            micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+        });
+    }
+
+    /// Record an operation executed by an engine.
+    pub fn operation(&self, engine: &str, op: &str, rows_out: u64, elapsed: Duration) {
+        self.record(TraceEvent::OperationExecuted {
+            engine: engine.to_string(),
+            op: op.to_string(),
+            rows_out,
+            micros: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+        });
+    }
+
+    /// Snapshot of all events in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace lock").clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace lock").len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Names of the phases that completed, in name order.
+    pub fn phases_finished(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self
+            .events
+            .lock()
+            .expect("trace lock")
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseFinished { phase, .. } => Some(phase.clone()),
+                _ => None,
+            })
+            .collect();
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let t = RunTrace::new();
+        assert!(t.is_empty());
+        t.phase_started("planning");
+        t.phase_finished("planning", Duration::from_micros(7));
+        t.operation("sql", "select", 3, Duration::from_micros(9));
+        let events = t.events();
+        assert_eq!(t.len(), 3);
+        assert_eq!(events[0].label(), "phase_started");
+        assert_eq!(
+            events[1],
+            TraceEvent::PhaseFinished { phase: "planning".into(), micros: 7 }
+        );
+        assert_eq!(events[2].label(), "operation_executed");
+    }
+
+    #[test]
+    fn phases_finished_deduplicates() {
+        let t = RunTrace::new();
+        for p in ["execution", "planning", "execution"] {
+            t.phase_finished(p, Duration::ZERO);
+        }
+        assert_eq!(t.phases_finished(), vec!["execution", "planning"]);
+    }
+
+    #[test]
+    fn events_serialize() {
+        let e = TraceEvent::EngineDispatched {
+            prescription: "micro/sort".into(),
+            engine: "sql".into(),
+            requested_system: "native".into(),
+            explicit: false,
+            candidates: vec!["native".into(), "sql".into()],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -52,7 +52,17 @@ impl MetricsCollector {
 
     /// Finish: snapshot the user-perceivable metrics.
     pub fn finish(&self) -> UserMetrics {
-        let duration = self.started.elapsed();
+        self.snapshot(self.started.elapsed())
+    }
+
+    /// Finish against an externally measured duration — for callers that
+    /// timed the workload themselves (e.g. an engine reporting a bound
+    /// execution's elapsed time) rather than from collector construction.
+    pub fn finish_with_duration(&self, duration: Duration) -> UserMetrics {
+        self.snapshot(duration)
+    }
+
+    fn snapshot(&self, duration: Duration) -> UserMetrics {
         let secs = duration.as_secs_f64().max(1e-9);
         UserMetrics {
             duration_secs: secs,

@@ -21,6 +21,17 @@ use bdb_sql::{Catalog, Executor};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+/// One executed step of a bound test, for structured tracing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepExecution {
+    /// Operation name (see `Operation::name`).
+    pub op: String,
+    /// Rows the step produced.
+    pub rows_out: u64,
+    /// Wall-clock time of the step.
+    pub elapsed: Duration,
+}
+
 /// The result of executing a bound test.
 #[derive(Debug)]
 pub struct BoundExecution {
@@ -30,6 +41,8 @@ pub struct BoundExecution {
     pub record_ops: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
+    /// Per-step execution records, in DAG order.
+    pub steps: Vec<StepExecution>,
 }
 
 impl BoundExecution {
@@ -330,13 +343,20 @@ impl PatternExecutor for SqlBinding {
         let steps = steps_of(pattern)?;
         let start = Instant::now();
         let mut record_ops = 0u64;
+        let mut executed = Vec::with_capacity(steps.len());
         let output = run_dag(&steps, datasets, |op, inputs| {
             let before: u64 = inputs.iter().map(|t| t.len() as u64).sum();
+            let t0 = Instant::now();
             let out = Self::lower_step(op, inputs)?;
             record_ops += before + out.len() as u64;
+            executed.push(StepExecution {
+                op: op.name().to_string(),
+                rows_out: out.len() as u64,
+                elapsed: t0.elapsed(),
+            });
             Ok(out)
         })?;
-        Ok(BoundExecution { output, record_ops, elapsed: start.elapsed() })
+        Ok(BoundExecution { output, record_ops, elapsed: start.elapsed(), steps: executed })
     }
 }
 
@@ -752,12 +772,19 @@ impl PatternExecutor for MapReduceBinding {
         let steps = steps_of(pattern)?;
         let start = Instant::now();
         let mut record_ops = 0u64;
+        let mut executed = Vec::with_capacity(steps.len());
         let output = run_dag(&steps, datasets, |op, inputs| {
+            let t0 = Instant::now();
             let (out, ops) = self.run_step(op, inputs)?;
             record_ops += ops;
+            executed.push(StepExecution {
+                op: op.name().to_string(),
+                rows_out: out.len() as u64,
+                elapsed: t0.elapsed(),
+            });
             Ok(out)
         })?;
-        Ok(BoundExecution { output, record_ops, elapsed: start.elapsed() })
+        Ok(BoundExecution { output, record_ops, elapsed: start.elapsed(), steps: executed })
     }
 }
 
@@ -994,6 +1021,12 @@ mod tests {
         let (sql, mr) = both_agree(&p);
         assert!(sql.record_ops > 0);
         assert!(mr.record_ops > 0);
+        // Both bindings report per-step execution records for tracing.
+        assert_eq!(sql.steps.len(), 1);
+        assert_eq!(sql.steps[0].op, "count");
+        assert_eq!(sql.steps[0].rows_out, 1);
+        assert_eq!(mr.steps.len(), 1);
+        assert_eq!(mr.steps[0].op, "count");
     }
 
     #[test]

@@ -63,6 +63,42 @@ pub fn gaussian_mixture(
     (points, labels)
 }
 
+/// Engine adapter: extract feature vectors from a generated table, one
+/// point per row over the table's numeric (Int/Float) columns. This is
+/// how table-backed iterative prescriptions feed the clustering kernels
+/// with the data the pipeline actually generated.
+///
+/// # Errors
+/// Fails when the table is empty or has no numeric columns.
+pub fn points_from_table(table: &Table) -> Result<Vec<Point>> {
+    let numeric: Vec<usize> = table
+        .schema()
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| matches!(f.data_type, DataType::Int | DataType::Float))
+        .map(|(i, _)| i)
+        .collect();
+    if numeric.is_empty() {
+        return Err(BdbError::Execution(
+            "table has no numeric columns to use as feature vectors".into(),
+        ));
+    }
+    if table.is_empty() {
+        return Err(BdbError::Execution("table has no rows to cluster".into()));
+    }
+    Ok(table
+        .rows()
+        .iter()
+        .map(|row| {
+            numeric
+                .iter()
+                .map(|&i| row[i].as_f64().unwrap_or(0.0))
+                .collect()
+        })
+        .collect())
+}
+
 fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }

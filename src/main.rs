@@ -1,10 +1,11 @@
 //! The `bdbench` command-line interface.
 //!
 //! ```text
-//! bdbench list                         # prescriptions, generators, suites
+//! bdbench list                         # prescriptions, generators, engines, suites
 //! bdbench run <prescription> [opts]    # the five-step pipeline
 //!     --system <native|mapreduce|sql|kv|streaming>
 //!     --scale <items>  --seed <n>  --workers <n>  --rate <items/sec>
+//!     --trace <path|->                 # dump the run trace as JSON-lines
 //! bdbench table1 [--seed n]            # regenerate the paper's Table 1
 //! bdbench table2 [--scale n] [--seed n]# regenerate the paper's Table 2
 //! bdbench suite <name> [--scale n]     # run one surveyed suite's workloads
@@ -13,24 +14,38 @@
 use bdbench::core::layers::BenchmarkSpec;
 use bdbench::core::pipeline::Benchmark;
 use bdbench::core::registry::GeneratorRegistry;
+use bdbench::exec::convert::trace_to_jsonl;
+use bdbench::exec::engine::EngineRegistry;
 use bdbench::suites::table2::render_workload_details;
 use bdbench::suites::{all_suites, table1, table2};
 use bdbench::testgen::{PrescriptionRepository, SystemKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
+        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
     );
     std::process::exit(2)
 }
 
-/// Pull `--key value` options out of the argument list.
-fn parse_opts(args: &[String]) -> (Vec<&String>, std::collections::BTreeMap<String, String>) {
+/// Pull `--key value` options out of the argument list, rejecting any key
+/// that is not in `allowed` so a typo fails loudly instead of being
+/// silently ignored.
+fn parse_opts<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> (Vec<&'a String>, std::collections::BTreeMap<String, String>) {
     let mut positional = Vec::new();
     let mut opts = std::collections::BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
+            if !allowed.contains(&key) {
+                eprintln!(
+                    "unknown option --{key} (expected one of: {})",
+                    allowed.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(", ")
+                );
+                usage();
+            }
             if i + 1 >= args.len() {
                 eprintln!("missing value for --{key}");
                 usage();
@@ -83,6 +98,10 @@ fn cmd_list() -> bdbench::common::Result<()> {
     for id in GeneratorRegistry::with_builtins().ids() {
         println!("  {id}");
     }
+    println!("\nengines:");
+    for engine in EngineRegistry::with_builtins().engines() {
+        println!("  {:<12} {}", engine.name(), engine.capabilities().summary());
+    }
     println!("\nsuites:");
     for suite in all_suites() {
         println!("  {}", suite.descriptor().name);
@@ -91,7 +110,8 @@ fn cmd_list() -> bdbench::common::Result<()> {
 }
 
 fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
-    let (positional, opts) = parse_opts(args);
+    let (positional, opts) =
+        parse_opts(args, &["system", "scale", "seed", "workers", "rate", "trace"]);
     let Some(prescription) = positional.first() else { usage() };
     let system = match opts.get("system").map(String::as_str) {
         None | Some("native") => SystemKind::Native,
@@ -113,10 +133,11 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
             bdbench::common::BdbError::InvalidConfig(format!("bad --scale {scale}"))
         })?);
     }
-    // --workers 0 = available parallelism, 1 = sequential (the default).
-    let workers = opt_u64(&opts, "workers", 1);
-    if workers != 1 {
-        spec = spec.with_generator_workers(workers as usize);
+    // --workers 0 = available parallelism, 1 = sequential. An explicit
+    // value always wins over the execution layer's configuration, so
+    // `--workers 1` forces sequential generation.
+    if opts.contains_key("workers") {
+        spec = spec.with_generator_workers(opt_u64(&opts, "workers", 1) as usize);
     }
     if let Some(rate) = opts.get("rate") {
         spec = spec.with_target_rate(rate.parse().map_err(|_| {
@@ -147,11 +168,22 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
         );
     }
     println!("{}", run.analysis);
+    if let Some(target) = opts.get("trace") {
+        let jsonl = trace_to_jsonl(&run.trace.events())?;
+        if target == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(target, &jsonl).map_err(|e| {
+                bdbench::common::BdbError::Io(format!("writing trace to {target}: {e}"))
+            })?;
+            eprintln!("trace: {} events written to {target}", run.trace.len());
+        }
+    }
     Ok(())
 }
 
 fn cmd_table1(args: &[String]) -> bdbench::common::Result<()> {
-    let (_, opts) = parse_opts(args);
+    let (_, opts) = parse_opts(args, &["seed"]);
     let suites = all_suites();
     let (rows, text) = table1::render_table1(&suites, opt_u64(&opts, "seed", 0xBD))?;
     println!("{text}");
@@ -165,7 +197,7 @@ fn cmd_table1(args: &[String]) -> bdbench::common::Result<()> {
 }
 
 fn cmd_table2(args: &[String]) -> bdbench::common::Result<()> {
-    let (_, opts) = parse_opts(args);
+    let (_, opts) = parse_opts(args, &["scale", "seed"]);
     let suites = all_suites();
     let (_, text) = table2::render_table2(
         &suites,
@@ -177,7 +209,7 @@ fn cmd_table2(args: &[String]) -> bdbench::common::Result<()> {
 }
 
 fn cmd_suite(args: &[String]) -> bdbench::common::Result<()> {
-    let (positional, opts) = parse_opts(args);
+    let (positional, opts) = parse_opts(args, &["scale", "seed"]);
     let Some(name) = positional.first() else { usage() };
     let suites = all_suites();
     let suite = suites
