@@ -101,10 +101,15 @@ impl Histogram {
     }
 
     /// Approximate quantile via linear interpolation within the bucket.
+    /// `quantile(0.0)` is exact: it returns the smallest recorded sample
+    /// rather than a bucket midpoint.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.count == 0 {
             return 0.0;
+        }
+        if q == 0.0 {
+            return self.min;
         }
         let target = q * self.count as f64;
         let mut acc = 0u64;
@@ -262,6 +267,20 @@ mod tests {
         }
         let med = h.quantile(0.5);
         assert!((med - 50.0).abs() < 2.0, "median {med}");
+    }
+
+    #[test]
+    fn zero_quantile_is_the_minimum_not_a_bucket_midpoint() {
+        // Regression: quantile(0.0) used to hit bucket 0's midpoint even
+        // when every sample lived in higher buckets.
+        let mut h = Histogram::with_bounds(0.0, 100.0, 10);
+        h.record(73.0);
+        h.record(88.0);
+        assert_eq!(h.quantile(0.0), 73.0);
+        // Still exact when bucket 0 is occupied but not at its midpoint.
+        let mut g = Histogram::with_bounds(0.0, 100.0, 10);
+        g.record(9.9);
+        assert_eq!(g.quantile(0.0), 9.9);
     }
 
     #[test]

@@ -12,9 +12,49 @@
 //! `std::thread::scope` pattern already used by `bdb-mapreduce`'s runtime
 //! instead of pulling in rayon. Worker count `0` means "use
 //! [`std::thread::available_parallelism`]" everywhere.
+//!
+//! The pool is panic-hardened: a task that panics is caught in its worker
+//! and surfaced as a structured [`WorkerPanic`] by the `try_` variants
+//! ([`try_par_map_chunks`], [`try_par_map`]) instead of tearing down the
+//! process — which is what lets the resilient execution layer treat a
+//! crashed generator worker as a retryable fault. The panic-propagating
+//! [`par_map_chunks`]/[`par_map`] wrappers keep the old contract for
+//! callers whose tasks cannot fail.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A worker panic caught by the pool, surfaced as a structured error so a
+/// crashing task fails the operation instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the chunk/item whose task panicked (the lowest index when
+    /// several workers panic).
+    pub task_index: usize,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pool worker panicked on task {}: {}", self.task_index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a panic payload (`&str` or `String` payloads, the ones `panic!`
+/// produces) as text.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolve a requested worker count: `0` = available parallelism.
 pub fn effective_workers(workers: usize) -> usize {
@@ -72,20 +112,37 @@ pub fn chunk_ranges(total: u64, chunk_size: u64) -> Vec<Chunk> {
 
 /// Run `f` over every chunk on `workers` threads (0 = available
 /// parallelism) and return the results **in chunk-index order**,
-/// independent of which worker ran which chunk.
+/// independent of which worker ran which chunk. A panicking task is
+/// caught and returned as a [`WorkerPanic`] naming the lowest panicking
+/// chunk index; remaining chunks are not started once a panic is seen.
 ///
 /// Chunks are dispatched through a shared atomic cursor, so load imbalance
 /// between chunks is absorbed by whichever workers finish early.
-pub fn par_map_chunks<R, F>(workers: usize, chunks: Vec<Chunk>, f: F) -> Vec<R>
+pub fn try_par_map_chunks<R, F>(
+    workers: usize,
+    chunks: Vec<Chunk>,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
 where
     R: Send,
     F: Fn(Chunk) -> R + Sync,
 {
     let workers = effective_workers(workers).min(chunks.len().max(1));
     if workers <= 1 || chunks.len() <= 1 {
-        return chunks.into_iter().map(f).collect();
+        return chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                catch_unwind(AssertUnwindSafe(|| f(c))).map_err(|p| WorkerPanic {
+                    task_index: i,
+                    message: panic_message(p.as_ref()),
+                })
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let panic: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..chunks.len()).map(|_| None).collect());
     let chunks = &chunks;
     let f = &f;
@@ -93,30 +150,61 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= chunks.len() {
                         break;
                     }
-                    let out = f(chunks[i]);
-                    slots.lock().expect("pool slots poisoned")[i] = Some(out);
+                    match catch_unwind(AssertUnwindSafe(|| f(chunks[i]))) {
+                        Ok(out) => slots.lock().expect("pool slots poisoned")[i] = Some(out),
+                        Err(payload) => {
+                            let caught = WorkerPanic {
+                                task_index: i,
+                                message: panic_message(payload.as_ref()),
+                            };
+                            let mut first = panic.lock().expect("pool panic slot poisoned");
+                            // Keep the lowest-index panic so the reported
+                            // error is independent of thread timing.
+                            if first.as_ref().is_none_or(|p| caught.task_index < p.task_index) {
+                                *first = Some(caught);
+                            }
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    }
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("pool worker panicked");
+            h.join().expect("pool worker thread died outside a task");
         }
     });
-    slots
+    if let Some(p) = panic.into_inner().expect("pool panic slot poisoned") {
+        return Err(p);
+    }
+    Ok(slots
         .into_inner()
         .expect("pool slots poisoned")
         .into_iter()
         .map(|s| s.expect("every chunk produced a result"))
-        .collect()
+        .collect())
+}
+
+/// Panic-propagating wrapper around [`try_par_map_chunks`] for callers
+/// whose tasks are known not to panic.
+pub fn par_map_chunks<R, F>(workers: usize, chunks: Vec<Chunk>, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Chunk) -> R + Sync,
+{
+    try_par_map_chunks(workers, chunks, f).unwrap_or_else(|p| panic!("{p}"))
 }
 
 /// Map `f` over `items` on `workers` threads, preserving input order in
-/// the output. Convenience wrapper for task lists that are not ranges.
-pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+/// the output and catching task panics. Convenience wrapper for task
+/// lists that are not ranges.
+pub fn try_par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Result<Vec<R>, WorkerPanic>
 where
     T: Send,
     R: Send,
@@ -124,11 +212,22 @@ where
 {
     let workers = effective_workers(workers).min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| WorkerPanic {
+                    task_index: i,
+                    message: panic_message(p.as_ref()),
+                })
+            })
+            .collect();
     }
     // Slot items behind Options so workers can take them by index.
     let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let panic: Mutex<Option<WorkerPanic>> = Mutex::new(None);
     let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
     let cells = &cells;
     let f = &f;
@@ -136,6 +235,9 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= cells.len() {
                         break;
@@ -145,21 +247,47 @@ where
                         .expect("pool item poisoned")
                         .take()
                         .expect("item taken once");
-                    let out = f(item);
-                    slots.lock().expect("pool slots poisoned")[i] = Some(out);
+                    match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                        Ok(out) => slots.lock().expect("pool slots poisoned")[i] = Some(out),
+                        Err(payload) => {
+                            let caught = WorkerPanic {
+                                task_index: i,
+                                message: panic_message(payload.as_ref()),
+                            };
+                            let mut first = panic.lock().expect("pool panic slot poisoned");
+                            if first.as_ref().is_none_or(|p| caught.task_index < p.task_index) {
+                                *first = Some(caught);
+                            }
+                            failed.store(true, Ordering::Relaxed);
+                        }
+                    }
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("pool worker panicked");
+            h.join().expect("pool worker thread died outside a task");
         }
     });
-    slots
+    if let Some(p) = panic.into_inner().expect("pool panic slot poisoned") {
+        return Err(p);
+    }
+    Ok(slots
         .into_inner()
         .expect("pool slots poisoned")
         .into_iter()
         .map(|s| s.expect("every item produced a result"))
-        .collect()
+        .collect())
+}
+
+/// Panic-propagating wrapper around [`try_par_map`] for callers whose
+/// tasks are known not to panic.
+pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    try_par_map(workers, items, f).unwrap_or_else(|p| panic!("{p}"))
 }
 
 #[cfg(test)]
@@ -233,6 +361,51 @@ mod tests {
         // Degenerate sizes.
         assert!(par_map(4, Vec::<u32>::new(), |x| x).is_empty());
         assert_eq!(par_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn panicking_task_surfaces_structured_error() {
+        for workers in [1, 4] {
+            let err = try_par_map_chunks(workers, split_even(32, 8), |c| {
+                if c.index == 3 {
+                    panic!("chunk {} exploded", c.index);
+                }
+                c.offset
+            })
+            .unwrap_err();
+            assert_eq!(err.task_index, 3, "workers {workers}");
+            assert_eq!(err.message, "chunk 3 exploded");
+            assert!(err.to_string().contains("pool worker panicked on task 3"));
+        }
+    }
+
+    #[test]
+    fn try_par_map_catches_item_panics() {
+        let err = try_par_map(3, (0..20u32).collect(), |x| {
+            if x == 7 {
+                panic!("bad item");
+            }
+            x * 2
+        })
+        .unwrap_err();
+        assert_eq!(err.task_index, 7);
+        assert_eq!(err.message, "bad item");
+        // And the clean path still returns everything in order.
+        let ok = try_par_map(3, (0..20u32).collect(), |x| x * 2).unwrap();
+        assert_eq!(ok, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool worker panicked on task 0")]
+    fn panic_propagating_wrapper_keeps_old_contract() {
+        let _ = par_map(2, vec![1u32, 2], |_| panic!("boom"));
+    }
+
+    #[test]
+    fn panic_message_renders_payload_kinds() {
+        let err = try_par_map(1, vec![0u8], |_| panic!("{}", String::from("heap msg")))
+            .unwrap_err();
+        assert_eq!(err.message, "heap msg");
     }
 
     #[test]

@@ -8,16 +8,22 @@
 //! The execution step itself is delegated to the Execution Layer's
 //! [`EngineRegistry`](bdb_exec::engine::EngineRegistry): the pipeline
 //! builds one [`ExecutionRequest`] and the registry routes it to the
-//! capable engine. Every step, generated data set, dispatch decision and
-//! executed operation is recorded in the run's [`RunTrace`].
+//! capable engine — resiliently, when the spec configures a fault plan,
+//! retries or a deadline ([`BenchmarkSpec::faults`] and friends): data-set
+//! generation and engine execution then run inside the recovery loop
+//! ([`bdb_exec::fault::run_with_recovery`]) with capability failover.
+//! Every step, generated data set, dispatch decision, executed operation
+//! and recovery event is recorded in the run's [`RunTrace`].
 
 use crate::layers::{BenchmarkSpec, ExecutionLayer, FunctionLayer};
 use bdb_common::{pool, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
 use bdb_datagen::{merge_datasets, Dataset};
+use bdb_exec::analyzer::RecoverySummary;
 use bdb_exec::engine::ExecutionRequest;
-use bdb_exec::reporter::{fmt_num, TableReporter};
+use bdb_exec::fault::{self, FaultSite, Resilience, RetryPolicy};
+use bdb_exec::reporter::{fmt_num, render_resilience, TableReporter};
 use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_metrics::GenerationMetrics;
 use bdb_testgen::TestGenerator;
@@ -111,6 +117,15 @@ impl Benchmark {
     /// Run the five-step process for `spec`.
     pub fn run(&self, spec: &BenchmarkSpec) -> Result<BenchmarkRun> {
         let trace = RunTrace::new();
+        let resilience = Resilience::new(
+            spec.faults.clone(),
+            RetryPolicy {
+                max_retries: spec.retries,
+                deadline_ms: spec.deadline_ms,
+                ..RetryPolicy::default()
+            },
+            spec.seed,
+        );
         let mut phases = Vec::with_capacity(5);
         let mut finish_phase = |trace: &RunTrace, phase: Phase, started: Instant| {
             let duration = started.elapsed();
@@ -144,23 +159,38 @@ impl Benchmark {
             let items = spec.scale.unwrap_or(data_spec.items);
             let seed = spec.seed.wrapping_add(i as u64);
             let gen_started = Instant::now();
-            let dataset = if let Some(rate) = spec.target_rate {
-                // Rate-throttled generation needs the velocity controller's
-                // pacing loop; plain parallel generation goes through the
-                // deterministic sharded path below instead.
-                let controller = VelocityController::new(workers)?
-                    .with_chunk_items((items / 8).max(16))
-                    .with_target_rate(rate);
-                let outcome = controller.run(generator.as_ref(), seed, items)?;
-                generation_rate = Some((outcome.achieved_rate, outcome.rate_error()));
-                merge_datasets(outcome.datasets)?
-            } else if workers > 1 {
-                // Sharded parallel generation: byte-identical to the
-                // sequential path for shardable generators.
-                generator.generate_parallel(seed, &VolumeSpec::Items(items), workers)?
-            } else {
-                generator.generate(seed, &VolumeSpec::Items(items))?
-            };
+            let site = FaultSite::datagen(&data_spec.name);
+            // Each data set generates inside the recovery loop: injected
+            // faults (including worker panics surfaced by the hardened
+            // pool) are retried under the spec's policy.
+            let dataset = fault::run_with_recovery(
+                &resilience,
+                &trace,
+                &site,
+                gen_started,
+                &mut || {
+                    if let Some(rate) = spec.target_rate {
+                        // Rate-throttled generation needs the velocity
+                        // controller's pacing loop; plain parallel
+                        // generation goes through the deterministic
+                        // sharded path below instead.
+                        let controller = VelocityController::new(workers)?
+                            .with_chunk_items((items / 8).max(16))
+                            .with_target_rate(rate);
+                        let outcome = controller.run(generator.as_ref(), seed, items)?;
+                        generation_rate = Some((outcome.achieved_rate, outcome.rate_error()));
+                        merge_datasets(outcome.datasets)
+                    } else if workers > 1 {
+                        // Sharded parallel generation: byte-identical to
+                        // the sequential path for shardable generators.
+                        generator.generate_parallel(seed, &VolumeSpec::Items(items), workers)
+                    } else {
+                        generator.generate(seed, &VolumeSpec::Items(items))
+                    }
+                },
+            )
+            .map_err(|failure| failure.error)?
+            .value;
             let gen_elapsed = gen_started.elapsed();
             let gm = GenerationMetrics::measure(
                 dataset.item_count() as u64,
@@ -214,7 +244,7 @@ impl Benchmark {
             config: &self.execution_layer.system_config,
             trace: &trace,
         };
-        let results = self.execution_layer.engines.dispatch(&request)?;
+        let results = self.execution_layer.engines.dispatch_resilient(&request, &resilience)?;
         finish_phase(&trace, Phase::Execution, t0);
 
         // ---- 5. Analysis & evaluation ----
@@ -287,7 +317,22 @@ fn render_analysis(
             fmt_num(r.report.cost_dollars),
         ]);
     }
-    format!("{}\n{}{}{}", data.to_text(), gen_line, dispatch_lines, table.to_text())
+    // Recovery metrics appear only when the run saw recovery activity —
+    // clean runs keep their analysis unchanged.
+    let recovery = RecoverySummary::from_events(&trace.events());
+    let resilience_section = if recovery.is_quiet() {
+        String::new()
+    } else {
+        format!("\n{}", render_resilience(&recovery))
+    };
+    format!(
+        "{}\n{}{}{}{}",
+        data.to_text(),
+        gen_line,
+        dispatch_lines,
+        table.to_text(),
+        resilience_section
+    )
 }
 
 #[cfg(test)]

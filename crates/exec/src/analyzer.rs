@@ -1,11 +1,16 @@
-//! Result analysis: speedups, winners, crossovers.
+//! Result analysis: speedups, winners, crossovers, recovery metrics.
 //!
 //! The benchmarking process's final step "analyse\[s\] and evaluate\[s\]" the
 //! results. [`compare`] ranks two runs of the same workload;
 //! [`find_crossover`] locates the input size where the faster system
 //! changes — the shape the EXPERIMENTS.md reproduction checks care about.
+//! [`RecoverySummary`] condenses the recovery-path trace events of a
+//! chaos run (injected faults, retries, failovers, deadline hits) into
+//! the dependability metrics the resilience reports print.
 
+use crate::trace::TraceEvent;
 use bdb_metrics::MetricReport;
+use std::collections::BTreeMap;
 
 /// The outcome of comparing two runs of one workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +80,83 @@ pub fn geomean_speedup(pairs: &[(f64, f64)]) -> f64 {
     (log_sum / pairs.len() as f64).exp()
 }
 
+/// Recovery metrics distilled from a run's trace: how much chaos the run
+/// absorbed and what it cost.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoverySummary {
+    /// Injected faults by kind ("error", "latency", "panic").
+    pub faults_by_kind: BTreeMap<String, u64>,
+    /// Retries performed.
+    pub retries: u64,
+    /// Engine failovers performed.
+    pub failovers: u64,
+    /// Operations that ran out of their deadline.
+    pub deadline_hits: u64,
+    /// Latency added by injected spikes and retry backoffs, milliseconds.
+    pub added_latency_ms: u64,
+    /// Attempts per operation site (first attempt included), for every
+    /// site that needed recovery.
+    pub attempts_per_site: BTreeMap<String, u64>,
+    /// Resilient operations the run executed (generated data sets plus
+    /// engine dispatches) — the denominator for [`degraded_pct`](Self::degraded_pct).
+    pub total_ops: u64,
+}
+
+impl RecoverySummary {
+    /// Build the summary from a run's trace events.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = RecoverySummary::default();
+        for e in events {
+            match e {
+                TraceEvent::DatasetGenerated { .. } | TraceEvent::EngineDispatched { .. } => {
+                    s.total_ops += 1;
+                }
+                TraceEvent::FaultInjected { site, kind, latency_ms } => {
+                    *s.faults_by_kind.entry(kind.clone()).or_insert(0) += 1;
+                    s.added_latency_ms += latency_ms;
+                    s.attempts_per_site.entry(site.clone()).or_insert(1);
+                }
+                TraceEvent::OperationRetried { site, delay_ms, .. } => {
+                    s.retries += 1;
+                    s.added_latency_ms += delay_ms;
+                    // attempt n failed, so the site is at attempt n + 1.
+                    let entry = s.attempts_per_site.entry(site.clone()).or_insert(1);
+                    *entry += 1;
+                }
+                TraceEvent::EngineFailedOver { .. } => s.failovers += 1,
+                TraceEvent::DeadlineExceeded { site, .. } => {
+                    s.deadline_hits += 1;
+                    s.attempts_per_site.entry(site.clone()).or_insert(1);
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Total injected faults across kinds.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_by_kind.values().sum()
+    }
+
+    /// True when the run saw no recovery activity at all.
+    pub fn is_quiet(&self) -> bool {
+        self.faults_injected() == 0
+            && self.retries == 0
+            && self.failovers == 0
+            && self.deadline_hits == 0
+    }
+
+    /// Fraction of resilient operations that were degraded (needed a
+    /// fault recovery, a retry, or hit a deadline), in `[0, 1]`.
+    pub fn degraded_pct(&self) -> f64 {
+        if self.total_ops == 0 {
+            return 0.0;
+        }
+        (self.attempts_per_site.len() as f64 / self.total_ops as f64).min(1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +207,75 @@ mod tests {
         let series = vec![(1.0, 1.0, 2.0), (2.0, 2.0, 3.0)];
         assert_eq!(find_crossover(&series), None);
         assert_eq!(find_crossover(&[]), None);
+    }
+
+    #[test]
+    fn recovery_summary_condenses_trace() {
+        let events = vec![
+            TraceEvent::DatasetGenerated {
+                name: "events".into(),
+                kind: "stream".into(),
+                items: 10,
+                bytes: 100,
+                workers: 2,
+                micros: 5,
+            },
+            TraceEvent::EngineDispatched {
+                prescription: "micro/sort".into(),
+                engine: "sql".into(),
+                requested_system: "sql".into(),
+                explicit: true,
+                candidates: vec!["sql".into()],
+            },
+            TraceEvent::FaultInjected {
+                site: "exec/sql:micro/sort".into(),
+                kind: "error".into(),
+                latency_ms: 0,
+            },
+            TraceEvent::OperationRetried {
+                site: "exec/sql:micro/sort".into(),
+                attempt: 1,
+                delay_ms: 10,
+                error: "injected engine fault".into(),
+            },
+            TraceEvent::FaultInjected {
+                site: "exec/sql:micro/sort".into(),
+                kind: "latency".into(),
+                latency_ms: 25,
+            },
+            TraceEvent::EngineFailedOver {
+                prescription: "micro/sort".into(),
+                from: "sql".into(),
+                to: "mapreduce".into(),
+                attempts: 2,
+            },
+            TraceEvent::DeadlineExceeded {
+                site: "datagen/events".into(),
+                elapsed_ms: 70,
+                deadline_ms: 50,
+            },
+        ];
+        let s = RecoverySummary::from_events(&events);
+        assert_eq!(s.faults_injected(), 2);
+        assert_eq!(s.faults_by_kind.get("error"), Some(&1));
+        assert_eq!(s.faults_by_kind.get("latency"), Some(&1));
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.failovers, 1);
+        assert_eq!(s.deadline_hits, 1);
+        assert_eq!(s.added_latency_ms, 10 + 25);
+        assert_eq!(s.total_ops, 2);
+        assert_eq!(s.attempts_per_site.get("exec/sql:micro/sort"), Some(&2));
+        assert_eq!(s.attempts_per_site.get("datagen/events"), Some(&1));
+        assert!((s.degraded_pct() - 1.0).abs() < 1e-9);
+        assert!(!s.is_quiet());
+    }
+
+    #[test]
+    fn recovery_summary_quiet_on_clean_trace() {
+        let s = RecoverySummary::from_events(&[TraceEvent::PhaseStarted { phase: "planning".into() }]);
+        assert!(s.is_quiet());
+        assert_eq!(s.degraded_pct(), 0.0);
+        assert_eq!(s.faults_injected(), 0);
     }
 
     #[test]

@@ -11,8 +11,17 @@
 //! test, mirroring BigOP-style automatic mapping of abstract operations
 //! onto concrete systems. Adding a backend is a registry entry, not a
 //! pipeline edit.
+//!
+//! Dispatch comes in two strengths: [`EngineRegistry::dispatch`] runs the
+//! routed engine once and propagates its error, while
+//! [`EngineRegistry::dispatch_resilient`] wraps each candidate engine in
+//! the [`crate::fault`] retry loop (seeded fault injection, jittered
+//! backoff, per-operation deadline) and fails over to the next capable
+//! engine when the selected one exhausts its retries, recording the
+//! degradation in the run trace.
 
 use crate::config::SystemConfig;
+use crate::fault::{self, FaultSite, Resilience};
 use crate::trace::RunTrace;
 use bdb_common::record::Table;
 use bdb_common::text::{Document, Vocabulary};
@@ -313,8 +322,10 @@ impl EngineRegistry {
         self.engines.iter().map(Box::as_ref)
     }
 
-    /// Pick the engine for a request without executing it.
-    pub fn route(&self, request: &ExecutionRequest<'_>) -> Result<(&dyn Engine, Routing)> {
+    /// Every engine capable of executing a request, in failover order:
+    /// engines implementing the requested system first (registration order
+    /// breaks ties), then the remaining capable engines.
+    pub fn route_all(&self, request: &ExecutionRequest<'_>) -> Result<Vec<(&dyn Engine, Routing)>> {
         let profile = request.profile();
         let capable: Vec<&dyn Engine> = self
             .engines
@@ -322,40 +333,50 @@ impl EngineRegistry {
             .map(Box::as_ref)
             .filter(|e| e.capabilities().supports(&profile))
             .collect();
-        let explicit = capable
-            .iter()
-            .find(|e| e.capabilities().implements(request.system))
-            .copied();
-        if let Some(engine) = explicit {
-            return Ok((engine, Routing { engine: engine.name().into(), explicit: true }));
-        }
-        if let Some(engine) = capable.first().copied() {
-            return Ok((engine, Routing { engine: engine.name().into(), explicit: false }));
-        }
-        let candidates = self
-            .engines
-            .iter()
-            .map(|e| format!("{} [{}]", e.name(), e.capabilities().summary()))
-            .collect::<Vec<_>>()
-            .join("; ");
-        Err(BdbError::Execution(format!(
-            "no engine can execute prescription {} (system={}, class={}, pattern={}, data={}); candidate engines: {}",
-            request.prescription.name,
-            request.system,
-            profile.class,
-            profile.shape,
-            profile
-                .data_kinds
+        if capable.is_empty() {
+            let candidates = self
+                .engines
                 .iter()
-                .map(|k| k.to_string())
+                .map(|e| format!("{} [{}]", e.name(), e.capabilities().summary()))
                 .collect::<Vec<_>>()
-                .join(","),
-            if candidates.is_empty() { "(none registered)".into() } else { candidates },
-        )))
+                .join("; ");
+            return Err(BdbError::Execution(format!(
+                "no engine can execute prescription {} (system={}, class={}, pattern={}, data={}); candidate engines: {}",
+                request.prescription.name,
+                request.system,
+                profile.class,
+                profile.shape,
+                profile
+                    .data_kinds
+                    .iter()
+                    .map(|k| k.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                if candidates.is_empty() { "(none registered)".into() } else { candidates },
+            )));
+        }
+        let (explicit, fallback): (Vec<&dyn Engine>, Vec<&dyn Engine>) = capable
+            .into_iter()
+            .partition(|e| e.capabilities().implements(request.system));
+        Ok(explicit
+            .into_iter()
+            .map(|e| (e, Routing { engine: e.name().into(), explicit: true }))
+            .chain(
+                fallback
+                    .into_iter()
+                    .map(|e| (e, Routing { engine: e.name().into(), explicit: false })),
+            )
+            .collect())
+    }
+
+    /// Pick the engine for a request without executing it.
+    pub fn route(&self, request: &ExecutionRequest<'_>) -> Result<(&dyn Engine, Routing)> {
+        Ok(self.route_all(request)?.remove(0))
     }
 
     /// Route a request, record the dispatch decision in the trace, and
-    /// execute it.
+    /// execute it once — no retries, no failover. Prefer
+    /// [`dispatch_resilient`](Self::dispatch_resilient) for runs.
     pub fn dispatch(&self, request: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
         let (engine, routing) = self.route(request)?;
         request.trace.record(crate::trace::TraceEvent::EngineDispatched {
@@ -366,6 +387,80 @@ impl EngineRegistry {
             candidates: self.names().iter().map(|n| n.to_string()).collect(),
         });
         engine.execute(request)
+    }
+
+    /// Resilient dispatch: route the request, run the chosen engine under
+    /// the retry policy (with fault injection when a plan is active), and
+    /// **fail over** to the next capable engine when the selected one
+    /// exhausts its retries. Recovery is recorded in the trace (fault,
+    /// retry, failover and deadline events) and on the results
+    /// (`attempts` / `failovers` details) whenever the run was degraded.
+    pub fn dispatch_resilient(
+        &self,
+        request: &ExecutionRequest<'_>,
+        resilience: &Resilience,
+    ) -> Result<Vec<WorkloadResult>> {
+        let candidates = self.route_all(request)?;
+        // The primary routing decision is recorded exactly as plain
+        // dispatch records it; failover events then narrate re-routes.
+        request.trace.record(crate::trace::TraceEvent::EngineDispatched {
+            prescription: request.prescription.name.clone(),
+            engine: candidates[0].1.engine.clone(),
+            requested_system: request.system.to_string(),
+            explicit: candidates[0].1.explicit,
+            candidates: self.names().iter().map(|n| n.to_string()).collect(),
+        });
+        let started = Instant::now();
+        let mut total_attempts = 0u32;
+        let mut total_faults = 0u32;
+        let mut last_error = None;
+        for (idx, (engine, routing)) in candidates.iter().enumerate() {
+            if idx > 0 {
+                request.trace.record(crate::trace::TraceEvent::EngineFailedOver {
+                    prescription: request.prescription.name.clone(),
+                    from: candidates[idx - 1].1.engine.clone(),
+                    to: routing.engine.clone(),
+                    attempts: total_attempts,
+                });
+            }
+            let site = FaultSite::execution(engine.name(), &request.prescription.name);
+            let outcome = fault::run_with_recovery(
+                resilience,
+                request.trace,
+                &site,
+                started,
+                &mut || engine.execute(request),
+            );
+            match outcome {
+                Ok(recovered) => {
+                    total_attempts += recovered.attempts;
+                    total_faults += recovered.faults;
+                    let degraded = idx > 0 || total_attempts > 1 || total_faults > 0;
+                    let results = recovered
+                        .value
+                        .into_iter()
+                        .map(|r| {
+                            if degraded {
+                                r.with_detail("attempts", f64::from(total_attempts))
+                                    .with_detail("failovers", idx as f64)
+                            } else {
+                                r
+                            }
+                        })
+                        .collect();
+                    return Ok(results);
+                }
+                Err(failure) => {
+                    total_attempts += failure.attempts;
+                    let deadline_hit = failure.deadline_hit;
+                    last_error = Some(failure.error);
+                    if deadline_hit {
+                        break;
+                    }
+                }
+            }
+        }
+        Err(last_error.expect("route_all returned at least one candidate"))
     }
 }
 

@@ -11,8 +11,12 @@
 //!   descriptors (threads, memory budget, engine parameters).
 //! * [`convert`] — format conversion: CSV/TSV, JSON-lines, plain text and
 //!   a length-prefixed binary format, all round-trippable.
-//! * [`analyzer`] — result analysis: speedups, winners, crossover points.
+//! * [`analyzer`] — result analysis: speedups, winners, crossover points,
+//!   and recovery summaries for chaos runs.
 //! * [`reporter`] — plain-text and Markdown table rendering.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]),
+//!   retry with jittered backoff ([`fault::RetryPolicy`]) and the
+//!   recovery loop resilient dispatch is built from.
 //! * [`engine`] — the pluggable engine abstraction: an [`engine::Engine`]
 //!   trait with declared [`engine::Capabilities`], five builtin engine
 //!   implementations (native, sql, kv, streaming, mapreduce) and a
@@ -23,15 +27,17 @@ pub mod analyzer;
 pub mod config;
 pub mod convert;
 pub mod engine;
+pub mod fault;
 pub mod reporter;
 pub mod trace;
 
-pub use analyzer::{compare, find_crossover, Comparison};
+pub use analyzer::{compare, find_crossover, Comparison, RecoverySummary};
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;
 pub use engine::{
     Capabilities, Engine, EngineRegistry, ExecutionRequest, PatternShape, Routing, TestProfile,
     WorkloadClass,
 };
+pub use fault::{FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultSite, Resilience, RetryPolicy};
 pub use reporter::TableReporter;
 pub use trace::{RunTrace, TraceEvent};

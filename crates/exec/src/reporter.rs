@@ -132,8 +132,59 @@ pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
             TraceEvent::OperationExecuted { engine, op, rows_out, micros } => {
                 (format!("{engine}/{op}"), format!("{rows_out} rows, {micros} us"))
             }
+            TraceEvent::FaultInjected { site, kind, latency_ms } => (
+                site.clone(),
+                if *latency_ms > 0 {
+                    format!("{kind} (+{latency_ms} ms)")
+                } else {
+                    kind.clone()
+                },
+            ),
+            TraceEvent::OperationRetried { site, attempt, delay_ms, error } => (
+                site.clone(),
+                format!("attempt {attempt} failed ({error}); backoff {delay_ms} ms"),
+            ),
+            TraceEvent::EngineFailedOver { prescription, from, to, attempts } => (
+                prescription.clone(),
+                format!("{from} -> {to} after {attempts} attempts"),
+            ),
+            TraceEvent::DeadlineExceeded { site, elapsed_ms, deadline_ms } => (
+                site.clone(),
+                format!("{elapsed_ms} ms elapsed > {deadline_ms} ms deadline"),
+            ),
         };
         t.add_row(&[e.label().to_string(), subject, detail]);
+    }
+    t.to_text()
+}
+
+/// Render a [`RecoverySummary`](crate::analyzer::RecoverySummary) as an
+/// aligned text table, one metric per row. Returns a one-line note when
+/// the run saw no recovery activity.
+pub fn render_resilience(summary: &crate::analyzer::RecoverySummary) -> String {
+    if summary.is_quiet() {
+        return "== Resilience ==\nno faults injected, no retries, no failovers\n".to_string();
+    }
+    let mut t = TableReporter::new("Resilience", &["metric", "value"]);
+    t.add_row(&["faults injected".into(), summary.faults_injected().to_string()]);
+    for (kind, n) in &summary.faults_by_kind {
+        t.add_row(&[format!("  {kind}"), n.to_string()]);
+    }
+    t.add_row(&["retries".into(), summary.retries.to_string()]);
+    t.add_row(&["failovers".into(), summary.failovers.to_string()]);
+    t.add_row(&["deadline hits".into(), summary.deadline_hits.to_string()]);
+    t.add_row(&["added latency (ms)".into(), summary.added_latency_ms.to_string()]);
+    t.add_row(&[
+        "degraded ops".into(),
+        format!(
+            "{}/{} ({:.1}%)",
+            summary.attempts_per_site.len(),
+            summary.total_ops,
+            summary.degraded_pct() * 100.0
+        ),
+    ]);
+    for (site, attempts) in &summary.attempts_per_site {
+        t.add_row(&[format!("  {site}"), format!("{attempts} attempts")]);
     }
     t.to_text()
 }
@@ -175,6 +226,75 @@ mod tests {
         assert!(text.contains("phase_started"));
         assert!(text.contains("sql/sort"));
         assert!(text.contains("42 rows"));
+    }
+
+    #[test]
+    fn trace_renders_recovery_events() {
+        use crate::trace::{RunTrace, TraceEvent};
+        let trace = RunTrace::new();
+        trace.record(TraceEvent::FaultInjected {
+            site: "exec/sql:micro/sort".into(),
+            kind: "latency".into(),
+            latency_ms: 25,
+        });
+        trace.record(TraceEvent::OperationRetried {
+            site: "exec/sql:micro/sort".into(),
+            attempt: 1,
+            delay_ms: 10,
+            error: "injected".into(),
+        });
+        trace.record(TraceEvent::EngineFailedOver {
+            prescription: "micro/sort".into(),
+            from: "sql".into(),
+            to: "mapreduce".into(),
+            attempts: 3,
+        });
+        trace.record(TraceEvent::DeadlineExceeded {
+            site: "datagen/events".into(),
+            elapsed_ms: 70,
+            deadline_ms: 50,
+        });
+        let text = render_trace(&trace);
+        assert!(text.contains("fault_injected"));
+        assert!(text.contains("latency (+25 ms)"));
+        assert!(text.contains("backoff 10 ms"));
+        assert!(text.contains("sql -> mapreduce after 3 attempts"));
+        assert!(text.contains("70 ms elapsed > 50 ms deadline"));
+    }
+
+    #[test]
+    fn resilience_report_quiet_and_active() {
+        use crate::analyzer::RecoverySummary;
+        use crate::trace::TraceEvent;
+        let quiet = RecoverySummary::default();
+        assert!(render_resilience(&quiet).contains("no faults injected"));
+
+        let s = RecoverySummary::from_events(&[
+            TraceEvent::EngineDispatched {
+                prescription: "micro/sort".into(),
+                engine: "sql".into(),
+                requested_system: "sql".into(),
+                explicit: true,
+                candidates: vec!["sql".into()],
+            },
+            TraceEvent::FaultInjected {
+                site: "exec/sql:micro/sort".into(),
+                kind: "error".into(),
+                latency_ms: 0,
+            },
+            TraceEvent::OperationRetried {
+                site: "exec/sql:micro/sort".into(),
+                attempt: 1,
+                delay_ms: 10,
+                error: "injected".into(),
+            },
+        ]);
+        let text = render_resilience(&s);
+        assert!(text.contains("== Resilience =="));
+        assert!(text.contains("faults injected"));
+        assert!(text.contains("degraded ops"));
+        assert!(text.contains("1/1 (100.0%)"));
+        assert!(text.contains("2 attempts"));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! A [`RunTrace`] is an append-only event sink threaded through a
 //! benchmark run: the pipeline records a span per Figure 1 phase, one
 //! event per generated data set, one event per engine-dispatch decision,
-//! and engines record one event per operation they execute. The sink uses
+//! and engines record one event per operation they execute; the resilient
+//! dispatcher adds one event per injected fault, retry, engine failover
+//! and deadline hit. The sink uses
 //! interior mutability so it can ride inside a shared
 //! [`crate::engine::ExecutionRequest`] without threading `&mut`
 //! everywhere. Traces render as a reporter table
@@ -70,6 +72,47 @@ pub enum TraceEvent {
         /// Operation wall-clock in microseconds.
         micros: u64,
     },
+    /// The fault injector fired at an operation site.
+    FaultInjected {
+        /// The operation site (`phase/target`).
+        site: String,
+        /// Fault kind ("error", "latency", "panic").
+        kind: String,
+        /// Spike length for latency faults (0 otherwise).
+        latency_ms: u64,
+    },
+    /// A failed attempt is being retried after a backoff.
+    OperationRetried {
+        /// The operation site.
+        site: String,
+        /// The attempt that failed (1-based).
+        attempt: u32,
+        /// Backoff before the next attempt, milliseconds.
+        delay_ms: u64,
+        /// The error that triggered the retry.
+        error: String,
+    },
+    /// An engine exhausted its retries and the prescription was re-routed
+    /// to the next capable engine.
+    EngineFailedOver {
+        /// Prescription name.
+        prescription: String,
+        /// The engine that gave up.
+        from: String,
+        /// The engine taking over.
+        to: String,
+        /// Attempts consumed before the failover.
+        attempts: u32,
+    },
+    /// An operation ran out of its wall-clock deadline.
+    DeadlineExceeded {
+        /// The operation site.
+        site: String,
+        /// Elapsed wall-clock, milliseconds.
+        elapsed_ms: u64,
+        /// The configured deadline, milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl TraceEvent {
@@ -81,7 +124,23 @@ impl TraceEvent {
             TraceEvent::DatasetGenerated { .. } => "dataset_generated",
             TraceEvent::EngineDispatched { .. } => "engine_dispatched",
             TraceEvent::OperationExecuted { .. } => "operation_executed",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::OperationRetried { .. } => "operation_retried",
+            TraceEvent::EngineFailedOver { .. } => "engine_failed_over",
+            TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
         }
+    }
+
+    /// True for the recovery-path events (fault, retry, failover,
+    /// deadline) the resilient dispatcher emits.
+    pub fn is_recovery(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::FaultInjected { .. }
+                | TraceEvent::OperationRetried { .. }
+                | TraceEvent::EngineFailedOver { .. }
+                | TraceEvent::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -184,6 +243,37 @@ mod tests {
             t.phase_finished(p, Duration::ZERO);
         }
         assert_eq!(t.phases_finished(), vec!["execution", "planning"]);
+    }
+
+    #[test]
+    fn recovery_events_serialize_and_classify() {
+        let events = vec![
+            TraceEvent::FaultInjected { site: "exec/sql:micro/sort".into(), kind: "error".into(), latency_ms: 0 },
+            TraceEvent::OperationRetried {
+                site: "exec/sql:micro/sort".into(),
+                attempt: 1,
+                delay_ms: 12,
+                error: "injected engine fault".into(),
+            },
+            TraceEvent::EngineFailedOver {
+                prescription: "micro/sort".into(),
+                from: "sql".into(),
+                to: "mapreduce".into(),
+                attempts: 2,
+            },
+            TraceEvent::DeadlineExceeded { site: "datagen/events".into(), elapsed_ms: 70, deadline_ms: 50 },
+        ];
+        for e in &events {
+            assert!(e.is_recovery(), "{}", e.label());
+            let json = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(*e, back);
+        }
+        assert!(!TraceEvent::PhaseStarted { phase: "x".into() }.is_recovery());
+        assert_eq!(events[0].label(), "fault_injected");
+        assert_eq!(events[1].label(), "operation_retried");
+        assert_eq!(events[2].label(), "engine_failed_over");
+        assert_eq!(events[3].label(), "deadline_exceeded");
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! Event-time windowing.
 //!
-//! Windows are event-time based with a zero-lateness watermark: because
-//! the stream generators emit (almost) ordered timestamps, a window closes
-//! as soon as an event at or past its end arrives, and all remaining
-//! windows flush at end-of-stream.
+//! # Watermark and lateness contract
+//!
+//! Windows are event-time based with a **zero-lateness watermark**: the
+//! watermark is simply the largest event timestamp seen so far (the
+//! stream generators emit (almost) ordered timestamps, so no extra slack
+//! is built into the watermark itself). A window `[start, start + size)`
+//! is *closed* once
+//!
+//! ```text
+//! start + size + allowed_lateness <= watermark
+//! ```
+//!
+//! and a closed pane is emitted exactly once — nothing may resurrect it.
+//! `allowed_lateness_ms` is the only out-of-orderness budget: an event
+//! may still count into any covering window that is not yet closed under
+//! the rule above, and is dropped from (only) the covering windows that
+//! are. For sliding windows an event can therefore be *partially late*:
+//! it lands in its still-open newer windows while its already-closed
+//! older windows skip it. [`Windower::late_events`] counts events whose
+//! every covering window had closed; [`Windower::late_panes`] counts
+//! individual skipped `(window, key)` assignments, including those of
+//! fully-late events. All remaining panes flush at end-of-stream.
 
 use bdb_common::event::Event;
 use std::collections::BTreeMap;
@@ -111,6 +129,7 @@ pub struct Windower {
     panes: BTreeMap<(u64, u64), PaneState>,
     watermark: u64,
     late_events: u64,
+    late_panes: u64,
 }
 
 impl Windower {
@@ -128,6 +147,7 @@ impl Windower {
             panes: BTreeMap::new(),
             watermark: 0,
             late_events: 0,
+            late_panes: 0,
         }
     }
 
@@ -137,22 +157,38 @@ impl Windower {
         self.late_events
     }
 
+    /// Individual `(window, key)` assignments skipped because that window
+    /// had already closed — including the assignments of fully-late
+    /// events, so `emitted counts + late_panes` conserves the total
+    /// number of window assignments.
+    pub fn late_panes(&self) -> u64 {
+        self.late_panes
+    }
+
     /// Ingest one event; returns any panes the advancing watermark closed.
     ///
-    /// An event whose every covering window has already closed is counted
-    /// as late and dropped — it must not resurrect an emitted window.
+    /// The event counts only into covering windows that are still open
+    /// (`end + allowed_lateness > watermark`) — a closed window is never
+    /// resurrected, even when a sliding event's other covering windows
+    /// remain open. An event whose every covering window has closed is
+    /// counted as late and dropped.
     pub fn push(&mut self, event: &Event) -> Vec<WindowAggregate> {
         let starts = self.spec.window_starts(event.ts_ms);
-        let newest_end = starts.last().map_or(0, |s| s + self.spec.size_ms);
-        if newest_end + self.allowed_lateness_ms <= self.watermark {
-            self.late_events += 1;
-            return Vec::new();
-        }
+        let mut inserted = false;
         for start in starts {
+            if start + self.spec.size_ms + self.allowed_lateness_ms <= self.watermark {
+                self.late_panes += 1;
+                continue;
+            }
+            inserted = true;
             self.panes
                 .entry((start, event.key))
                 .or_insert_with(PaneState::new)
                 .update(event.value);
+        }
+        if !inserted {
+            self.late_events += 1;
+            return Vec::new();
         }
         if event.ts_ms > self.watermark {
             self.watermark = event.ts_ms;
@@ -292,6 +328,51 @@ mod tests {
         // Flush must not re-emit window 0.
         let rest = w.flush();
         assert!(rest.iter().all(|a| a.window_start != 0), "{rest:?}");
+    }
+
+    #[test]
+    fn partially_late_sliding_event_does_not_resurrect_closed_pane() {
+        // Regression: an out-of-order event covered by one closed and one
+        // open sliding window used to be re-inserted into BOTH, emitting
+        // the closed (window_start, key) pane a second time at flush.
+        let mut w = Windower::new(WindowSpec::sliding(100, 50));
+        w.push(&Event::new(60, 1, 1.0)); // panes 0 and 50
+        // Watermark to 160: closes window [0, 100); [50, 150) closes too?
+        // 50 + 100 <= 160, yes — use 130 instead so [50, 150) stays open.
+        let closed = w.push(&Event::new(130, 1, 1.0)); // panes 50, 100
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].window_start, 0);
+        // Event at 70 covers windows 0 (closed) and 50 (open): it must
+        // count only into 50 and skip 0.
+        assert!(w.push(&Event::new(70, 1, 5.0)).is_empty());
+        assert_eq!(w.late_events(), 0, "event landed in an open window");
+        assert_eq!(w.late_panes(), 1, "the closed pane was skipped");
+        let rest = w.flush();
+        assert!(
+            rest.iter().all(|a| a.window_start != 0),
+            "closed pane resurrected: {rest:?}"
+        );
+        let w50 = rest.iter().find(|a| a.window_start == 50).unwrap();
+        assert_eq!(w50.count, 3); // events at 60, 130, 70
+        // No duplicate (window_start, key) across closed + flushed output.
+        let mut seen: Vec<(u64, u64)> = closed
+            .iter()
+            .chain(rest.iter())
+            .map(|a| (a.window_start, a.key))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), closed.len() + rest.len());
+    }
+
+    #[test]
+    fn fully_late_event_counts_all_its_panes_late() {
+        let mut w = Windower::new(WindowSpec::sliding(100, 50));
+        w.push(&Event::new(60, 1, 1.0));
+        w.push(&Event::new(300, 1, 1.0)); // closes everything through 200
+        assert!(w.push(&Event::new(70, 1, 9.0)).is_empty());
+        assert_eq!(w.late_events(), 1);
+        assert_eq!(w.late_panes(), 2, "both covering windows were closed");
     }
 
     #[test]

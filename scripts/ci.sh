@@ -25,4 +25,21 @@ done
 cargo clippy --workspace "${clippy_excludes[@]}" --all-targets -- -D warnings || exit 1
 echo "clippy: clean"
 
+echo "== chaos smoke (seeded fault injection) =="
+# A seeded chaos run: the first two execution attempts fail, a generator
+# worker panics once, and the run must still complete (exit 0) with the
+# recovery recorded in the trace. Same seed + plan = same trace, always.
+chaos_trace=$(mktemp)
+./target/release/bdbench run micro/wordcount --scale 200 --seed 42 \
+    --faults "error@exec:1:max=2,panic@datagen:1:max=1" --retries 3 \
+    --trace "$chaos_trace" >/dev/null || { echo "chaos run failed"; exit 1; }
+faults=$(grep -c '"FaultInjected"' "$chaos_trace")
+retries=$(grep -c '"OperationRetried"' "$chaos_trace")
+rm -f "$chaos_trace"
+if [ "$faults" -lt 1 ] || [ "$retries" -lt 1 ]; then
+    echo "chaos smoke: expected recovered faults in the trace (faults=$faults retries=$retries)"
+    exit 1
+fi
+echo "chaos smoke: recovered from $faults injected fault(s) with $retries retr(y/ies)"
+
 echo "CI gate passed."

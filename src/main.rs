@@ -6,6 +6,9 @@
 //!     --system <native|mapreduce|sql|kv|streaming>
 //!     --scale <items>  --seed <n>  --workers <n>  --rate <items/sec>
 //!     --trace <path|->                 # dump the run trace as JSON-lines
+//!     --faults <spec>                  # inject faults (kind@phase:rate[:ms=N][:max=N],…)
+//!     --retries <n>                    # retries per operation (with backoff)
+//!     --deadline-ms <n>                # per-operation wall-clock deadline
 //! bdbench table1 [--seed n]            # regenerate the paper's Table 1
 //! bdbench table2 [--scale n] [--seed n]# regenerate the paper's Table 2
 //! bdbench suite <name> [--scale n]     # run one surveyed suite's workloads
@@ -22,7 +25,7 @@ use bdbench::testgen::{PrescriptionRepository, SystemKind};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
+        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
     );
     std::process::exit(2)
 }
@@ -110,8 +113,10 @@ fn cmd_list() -> bdbench::common::Result<()> {
 }
 
 fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
-    let (positional, opts) =
-        parse_opts(args, &["system", "scale", "seed", "workers", "rate", "trace"]);
+    let (positional, opts) = parse_opts(
+        args,
+        &["system", "scale", "seed", "workers", "rate", "trace", "faults", "retries", "deadline-ms"],
+    );
     let Some(prescription) = positional.first() else { usage() };
     let system = match opts.get("system").map(String::as_str) {
         None | Some("native") => SystemKind::Native,
@@ -143,6 +148,15 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
         spec = spec.with_target_rate(rate.parse().map_err(|_| {
             bdbench::common::BdbError::InvalidConfig(format!("bad --rate {rate}"))
         })?);
+    }
+    if let Some(faults) = opts.get("faults") {
+        spec = spec.with_faults(faults.parse()?);
+    }
+    if opts.contains_key("retries") {
+        spec = spec.with_retries(opt_u64(&opts, "retries", 0) as u32);
+    }
+    if opts.contains_key("deadline-ms") {
+        spec = spec.with_deadline_ms(opt_u64(&opts, "deadline-ms", 0));
     }
     let run = Benchmark::new().run(&spec)?;
     println!("== phases ==");

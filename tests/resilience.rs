@@ -1,0 +1,152 @@
+//! End-to-end tests for resilient execution: deterministic fault
+//! injection, retry with backoff, engine failover, deadlines, and the
+//! recovery trace/report contract.
+
+use bdbench::core::layers::BenchmarkSpec;
+use bdbench::core::pipeline::Benchmark;
+use bdbench::exec::analyzer::RecoverySummary;
+use bdbench::exec::trace::TraceEvent;
+use bdbench::testgen::SystemKind;
+
+fn chaos_spec(faults: &str, retries: u32) -> BenchmarkSpec {
+    BenchmarkSpec::new("chaos")
+        .with_prescription("micro/wordcount")
+        .with_system(SystemKind::Native)
+        .with_scale(200)
+        .with_seed(17)
+        .with_faults(faults.parse().unwrap())
+        .with_retries(retries)
+}
+
+#[test]
+fn injected_errors_are_retried_to_success() {
+    // Exactly the first two execution attempts fail; the third runs.
+    let run = Benchmark::new().run(&chaos_spec("error@exec:1:max=2", 3)).unwrap();
+    assert_eq!(run.results.len(), 1);
+    let events = run.trace.events();
+    let faults = events.iter().filter(|e| e.label() == "fault_injected").count();
+    let retries = events.iter().filter(|e| e.label() == "operation_retried").count();
+    assert_eq!(faults, 2);
+    assert_eq!(retries, 2);
+    // Degradation is visible on the result itself.
+    assert_eq!(run.results[0].detail("attempts"), Some(3.0));
+    assert_eq!(run.results[0].detail("failovers"), Some(0.0));
+    // ... and in the analysis report.
+    assert!(run.analysis.contains("== Resilience =="), "{}", run.analysis);
+}
+
+#[test]
+fn exhausted_engine_fails_over_to_next_capable() {
+    // retries=1 gives the primary engine two attempts; max=2 makes both
+    // fail, so the prescription re-routes to the capability fallback.
+    let run = Benchmark::new().run(&chaos_spec("error@exec:1:max=2", 1)).unwrap();
+    let events = run.trace.events();
+    let failover = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::EngineFailedOver { from, to, attempts, .. } => {
+                Some((from.clone(), to.clone(), *attempts))
+            }
+            _ => None,
+        })
+        .expect("a failover event");
+    assert_eq!(failover.0, "native");
+    assert_eq!(failover.1, "mapreduce");
+    assert_eq!(failover.2, 2);
+    // The fallback engine actually produced the result.
+    assert_eq!(run.results[0].report.system, "mapreduce");
+    assert_eq!(run.results[0].detail("failovers"), Some(1.0));
+    // Exactly one dispatch decision is still recorded (the primary).
+    let dispatches = events.iter().filter(|e| e.label() == "engine_dispatched").count();
+    assert_eq!(dispatches, 1);
+}
+
+#[test]
+fn fault_and_recovery_sequence_is_deterministic() {
+    // Same seed + same plan => identical recovery event sequence, byte
+    // for byte (delays included — jitter derives from the seed).
+    let spec = chaos_spec("error@any:0.4,latency@exec:0.5:ms=1", 4);
+    let recovery = |spec: &BenchmarkSpec| -> Vec<TraceEvent> {
+        Benchmark::new()
+            .run(spec)
+            .unwrap()
+            .trace
+            .events()
+            .into_iter()
+            .filter(|e| e.is_recovery())
+            .collect()
+    };
+    let a = recovery(&spec);
+    let b = recovery(&spec);
+    assert_eq!(a, b, "recovery sequence must be reproducible");
+    assert!(!a.is_empty(), "the plan should have injected something");
+
+    // A different seed produces a different sequence (rates are not 0/1).
+    let c = recovery(&spec.clone().with_seed(18));
+    assert_ne!(a, c, "different seeds should produce different chaos");
+}
+
+#[test]
+fn generator_worker_panic_is_survived_and_recorded() {
+    // A panic injected into data generation rides through a real pool
+    // worker; the hardened pool converts it to an error and the retry
+    // loop recovers. The process must not abort.
+    let spec = BenchmarkSpec::new("panic")
+        .with_prescription("micro/wordcount")
+        .with_scale(200)
+        .with_seed(23)
+        .with_faults("panic@datagen:1:max=1".parse().unwrap())
+        .with_retries(2);
+    let run = Benchmark::new().run(&spec).unwrap();
+    assert_eq!(run.results.len(), 1);
+    let events = run.trace.events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TraceEvent::FaultInjected { site, kind, .. }
+            if kind == "panic" && site.starts_with("datagen/")
+    )));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TraceEvent::OperationRetried { error, .. } if error.contains("worker panic")
+    )));
+    // The generated data is unaffected by the recovered crash.
+    assert_eq!(run.data_summary[0].2, 200);
+}
+
+#[test]
+fn deadline_bounds_the_whole_dispatch() {
+    // Every attempt fails and the deadline is tiny: the run must give up
+    // quickly with a deadline error instead of exhausting 50 retries.
+    let spec = chaos_spec("error@exec:1", 50).with_deadline_ms(40);
+    let err = Benchmark::new().run(&spec).unwrap_err().to_string();
+    assert!(err.contains("deadline"), "unexpected error: {err}");
+}
+
+#[test]
+fn recovery_summary_matches_trace_counts() {
+    let run = Benchmark::new().run(&chaos_spec("error@exec:1:max=2", 3)).unwrap();
+    let summary = RecoverySummary::from_events(&run.trace.events());
+    assert_eq!(summary.faults_injected(), 2);
+    assert_eq!(summary.retries, 2);
+    assert_eq!(summary.failovers, 0);
+    assert_eq!(summary.deadline_hits, 0);
+    assert!(summary.added_latency_ms > 0, "backoff delays should accrue");
+    assert!(!summary.is_quiet());
+    // One degraded site out of two resilient ops (1 datagen + 1 dispatch).
+    assert_eq!(summary.total_ops, 2);
+    assert!((summary.degraded_pct() - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn clean_runs_stay_clean() {
+    // No fault plan: no recovery events, no resilience section, no
+    // degradation details on results.
+    let spec = BenchmarkSpec::new("clean")
+        .with_prescription("micro/wordcount")
+        .with_scale(200)
+        .with_seed(17);
+    let run = Benchmark::new().run(&spec).unwrap();
+    assert!(run.trace.events().iter().all(|e| !e.is_recovery()));
+    assert!(!run.analysis.contains("== Resilience =="));
+    assert_eq!(run.results[0].detail("attempts"), None);
+}
