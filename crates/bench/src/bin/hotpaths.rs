@@ -1,0 +1,164 @@
+//! Self-timing bench runner for the framework's hot paths.
+//!
+//! Unlike the Criterion benches (which regenerate paper artifacts), this
+//! binary measures the four load-bearing code paths with plain wall-clock
+//! timing and emits one machine-readable JSON report — the
+//! perf-regression gate CI archives as `BENCH_4.json`:
+//!
+//! 1. parallel data generation throughput (items/s),
+//! 2. engine dispatch (capability routing) latency,
+//! 3. the streaming window pipeline (events/s),
+//! 4. LSM put and get throughput (ops/s).
+//!
+//! Usage: `hotpaths [OUT.json]` (default `BENCH_4.json`).
+
+use bdb_core::registry::GeneratorRegistry;
+use bdb_datagen::volume::VolumeSpec;
+use bdb_datagen::stream::PoissonArrivals;
+use bdb_datagen::Dataset;
+use bdb_exec::config::SystemConfig;
+use bdb_exec::engine::{EngineRegistry, ExecutionRequest};
+use bdb_exec::trace::RunTrace;
+use bdb_kv::lsm::LsmStore;
+use bdb_testgen::{PrescriptionRepository, SystemKind};
+use bdb_workloads::streaming::{windowed_aggregation, StreamAnalyticsConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+/// One measured hot path.
+struct Sample {
+    name: &'static str,
+    /// Work units processed (items, routes, events, ops).
+    units: u64,
+    secs: f64,
+}
+
+impl Sample {
+    fn per_sec(&self) -> f64 {
+        self.units as f64 / self.secs.max(1e-9)
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{"name":"{}","units":{},"secs":{:.6},"per_sec":{:.1}}}"#,
+            self.name,
+            self.units,
+            self.secs,
+            self.per_sec()
+        )
+    }
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn bench_datagen(items: u64) -> Sample {
+    let generator = GeneratorRegistry::with_builtins()
+        .build("text/lda")
+        .expect("builtin generator");
+    let (dataset, secs) = time(|| {
+        generator
+            .generate_parallel(SEED, &VolumeSpec::Items(items), 4)
+            .expect("generation")
+    });
+    Sample { name: "datagen_parallel_items", units: dataset.item_count() as u64, secs }
+}
+
+fn bench_dispatch(iterations: u64) -> (Sample, BTreeMap<String, Dataset>) {
+    let repo = PrescriptionRepository::with_builtins();
+    let prescription = repo.get("micro/wordcount").expect("builtin prescription");
+    let generators = GeneratorRegistry::with_builtins();
+    let mut datasets = BTreeMap::new();
+    for (i, d) in prescription.data.iter().enumerate() {
+        let dataset = generators
+            .build(&d.generator)
+            .and_then(|g| g.generate(SEED.wrapping_add(i as u64), &VolumeSpec::Items(d.items)))
+            .expect("dataset");
+        datasets.insert(d.name.clone(), dataset);
+    }
+    let config = SystemConfig::default();
+    let trace = RunTrace::new();
+    let registry = EngineRegistry::with_builtins();
+    let request = ExecutionRequest {
+        prescription,
+        system: SystemKind::Native,
+        seed: SEED,
+        scale: 1000,
+        datasets: &datasets,
+        config: &config,
+        trace: &trace,
+    };
+    let (routed, secs) = time(|| {
+        let mut routed = 0u64;
+        for _ in 0..iterations {
+            routed += registry.route_all(&request).expect("routable").len() as u64;
+        }
+        routed
+    });
+    assert!(routed >= iterations);
+    (Sample { name: "dispatch_route_all", units: iterations, secs }, datasets)
+}
+
+fn bench_window_pipeline(events: u64) -> Sample {
+    let evts = PoissonArrivals::new(1000.0, 20)
+        .expect("arrival config")
+        .generate_events(SEED, events);
+    let n = evts.len() as u64;
+    let ((outcome, _), secs) =
+        time(|| windowed_aggregation(evts, &StreamAnalyticsConfig::default()));
+    assert_eq!(outcome.events_in, n);
+    Sample { name: "window_pipeline_events", units: n, secs }
+}
+
+fn bench_lsm(ops: u64) -> (Sample, Sample) {
+    let mut store = LsmStore::default();
+    let (_, put_secs) = time(|| {
+        for i in 0..ops {
+            let key = format!("user{:012}", i * 7919 % ops);
+            store.put(key.into_bytes(), vec![0u8; 100]);
+        }
+    });
+    let (hits, get_secs) = time(|| {
+        let mut hits = 0u64;
+        for i in 0..ops {
+            let key = format!("user{:012}", i % ops);
+            if store.get(key.as_bytes()).is_some() {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    assert!(hits > 0);
+    (
+        Sample { name: "lsm_put_ops", units: ops, secs: put_secs },
+        Sample { name: "lsm_get_ops", units: ops, secs: get_secs },
+    )
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_4.json".to_string());
+    let (dispatch, _datasets) = bench_dispatch(10_000);
+    let (lsm_put, lsm_get) = bench_lsm(50_000);
+    let samples = vec![
+        bench_datagen(200_000),
+        dispatch,
+        bench_window_pipeline(200_000),
+        lsm_put,
+        lsm_get,
+    ];
+    for s in &samples {
+        println!("{:<26} {:>12} units  {:>10.4} s  {:>14.0} /s", s.name, s.units, s.secs, s.per_sec());
+    }
+    let body: Vec<String> = samples.iter().map(Sample::json).collect();
+    let json = format!(
+        "{{\"bench\":\"hotpaths\",\"seed\":{SEED},\"results\":[\n  {}\n]}}\n",
+        body.join(",\n  ")
+    );
+    std::fs::write(&out, json).expect("write report");
+    eprintln!("wrote {out}");
+}

@@ -12,6 +12,7 @@ use bdb_exec::engine::EngineRegistry;
 use bdb_exec::fault::FaultPlan;
 use bdb_metrics::{CostModel, PowerModel};
 use bdb_testgen::{PrescriptionRepository, SystemKind};
+use bdb_verify::VerifyMode;
 
 /// User Interface Layer: what a system owner specifies — "the selected
 /// data, workloads, metrics and the preferred data volume and velocity".
@@ -40,6 +41,12 @@ pub struct BenchmarkSpec {
     pub retries: u32,
     /// Per-operation wall-clock deadline, milliseconds (`None` = none).
     pub deadline_ms: Option<u64>,
+    /// Differential conformance verification for the run's results
+    /// (`None` = no verification, the historical behaviour).
+    pub verify: Option<VerifyMode>,
+    /// Explicit golden-store directory for verification. `None` defers to
+    /// `$BDB_GOLDENS_DIR` / the `goldens/` discovery rule.
+    pub goldens_dir: Option<String>,
 }
 
 impl BenchmarkSpec {
@@ -56,6 +63,8 @@ impl BenchmarkSpec {
             faults: None,
             retries: 0,
             deadline_ms: None,
+            verify: None,
+            goldens_dir: None,
         }
     }
 
@@ -113,6 +122,19 @@ impl BenchmarkSpec {
     /// wall-clock deadline in milliseconds.
     pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Verify the run's results against the reference oracle and/or the
+    /// golden-run store.
+    pub fn with_verify(mut self, mode: VerifyMode) -> Self {
+        self.verify = Some(mode);
+        self
+    }
+
+    /// Use an explicit golden-store directory instead of discovery.
+    pub fn with_goldens_dir(mut self, dir: &str) -> Self {
+        self.goldens_dir = Some(dir.to_string());
         self
     }
 }

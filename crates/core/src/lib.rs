@@ -26,17 +26,21 @@
 //! ```
 
 pub mod layers;
+pub mod matrix;
 pub mod pipeline;
 pub mod registry;
 
 pub use layers::{BenchmarkSpec, ExecutionLayer, FunctionLayer, UserInterfaceLayer};
+pub use matrix::{verify_matrix, MatrixCell, MatrixReport};
 pub use pipeline::{Benchmark, BenchmarkRun, PhaseTiming};
 pub use registry::GeneratorRegistry;
 
 /// Glob import for applications.
 pub mod prelude {
     pub use crate::layers::BenchmarkSpec;
+    pub use crate::matrix::{verify_matrix, MatrixReport};
     pub use crate::pipeline::{Benchmark, BenchmarkRun};
+    pub use bdb_verify::VerifyMode;
     pub use crate::registry::GeneratorRegistry;
     pub use bdb_common::prelude::*;
     pub use bdb_datagen::volume::VolumeSpec;

@@ -1,0 +1,184 @@
+//! The verification matrix: every built-in prescription swept across
+//! every capable built-in engine, each cell verified differentially.
+//!
+//! [`verify_matrix`] is the harness behind `bdbench verify`: it runs each
+//! (prescription, engine) pair in isolation — a single-engine registry,
+//! so capability routing cannot silently substitute a different backend —
+//! and collects the conformance verdicts per cell. Engine threads are
+//! pinned (4) so Element-class cells produce machine-independent golden
+//! digests regardless of the host's parallelism.
+
+use crate::layers::BenchmarkSpec;
+use crate::pipeline::Benchmark;
+use bdb_common::{BdbError, Result};
+use bdb_exec::config::SystemConfig;
+use bdb_exec::engine::{
+    Engine, EngineRegistry, KvEngine, MapReduceEngine, NativeEngine, SqlEngine, StreamingEngine,
+};
+use bdb_testgen::{PrescriptionRepository, SystemKind};
+use bdb_verify::VerifyMode;
+
+/// Engine threads pinned for matrix runs, keeping KV client sharding —
+/// and therefore Element-class golden digests — machine-independent.
+pub const MATRIX_THREADS: usize = 4;
+
+/// One verified (prescription, engine) cell.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Prescription name.
+    pub prescription: String,
+    /// Engine that executed it.
+    pub engine: &'static str,
+    /// Conformance checks the cell ran.
+    pub checks: u64,
+    /// All checks passed (and at least one ran).
+    pub passed: bool,
+    /// Failure details, when any check diverged.
+    pub failures: Vec<String>,
+}
+
+/// The outcome of a full matrix sweep.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Verification mode the sweep ran under.
+    pub mode: VerifyMode,
+    /// Verified cells, in prescription-major order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixReport {
+    /// True when every cell verified clean.
+    pub fn all_passed(&self) -> bool {
+        !self.cells.is_empty() && self.cells.iter().all(|c| c.passed)
+    }
+
+    /// Cells that diverged.
+    pub fn failed_cells(&self) -> Vec<&MatrixCell> {
+        self.cells.iter().filter(|c| !c.passed).collect()
+    }
+
+    /// Render the sweep as an aligned text table.
+    pub fn render(&self) -> String {
+        use bdb_exec::reporter::TableReporter;
+        let mut t = TableReporter::new(
+            &format!("Verification matrix ({} mode)", self.mode),
+            &["prescription", "engine", "checks", "verdict"],
+        );
+        for c in &self.cells {
+            t.add_row(&[
+                c.prescription.clone(),
+                c.engine.to_string(),
+                c.checks.to_string(),
+                if c.passed { "pass".into() } else { "FAIL".into() },
+            ]);
+        }
+        let mut out = t.to_text();
+        for c in self.failed_cells() {
+            for f in &c.failures {
+                out.push_str(&format!("  {}@{}: {f}\n", c.prescription, c.engine));
+            }
+        }
+        let verdict = if self.all_passed() { "CONFORMANT" } else { "DIVERGED" };
+        out.push_str(&format!(
+            "{} cells, {} passed: {verdict}\n",
+            self.cells.len(),
+            self.cells.iter().filter(|c| c.passed).count()
+        ));
+        out
+    }
+}
+
+/// Fresh instances of the five built-in engines, in registration order.
+fn builtin_engines() -> Vec<Box<dyn Engine>> {
+    vec![
+        Box::new(NativeEngine),
+        Box::new(SqlEngine),
+        Box::new(KvEngine),
+        Box::new(StreamingEngine),
+        Box::new(MapReduceEngine),
+    ]
+}
+
+/// Sweep every built-in prescription across every capable built-in
+/// engine, verifying each cell under `mode`. Incapable pairs are skipped
+/// (they are not matrix cells); a capable pair that fails to execute is
+/// an error.
+///
+/// # Errors
+/// Fails when a capable cell cannot run at all (generation or execution
+/// error) — divergence is reported in the cells, not as an error.
+pub fn verify_matrix(
+    scale: u64,
+    seed: u64,
+    mode: VerifyMode,
+    goldens_dir: Option<&str>,
+) -> Result<MatrixReport> {
+    let names: Vec<String> = PrescriptionRepository::with_builtins()
+        .names()
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    let mut cells = Vec::new();
+    for name in &names {
+        for engine in builtin_engines() {
+            let engine_name = engine.name();
+            let system = engine
+                .capabilities()
+                .systems
+                .first()
+                .copied()
+                .unwrap_or(SystemKind::Native);
+            let mut bench = Benchmark::new();
+            bench.execution_layer_mut().system_config =
+                SystemConfig::default().with_threads(MATRIX_THREADS);
+            let mut registry = EngineRegistry::new();
+            registry.register(engine);
+            bench.execution_layer_mut().engines = registry;
+            let mut spec = BenchmarkSpec::new(&format!("verify/{name}/{engine_name}"))
+                .with_prescription(name)
+                .with_system(system)
+                .with_scale(scale)
+                .with_seed(seed)
+                .with_verify(mode);
+            if let Some(dir) = goldens_dir {
+                spec = spec.with_goldens_dir(dir);
+            }
+            match bench.run(&spec) {
+                Ok(run) => cells.push(MatrixCell {
+                    prescription: name.clone(),
+                    engine: engine_name,
+                    checks: run.conformance.checks,
+                    passed: run.conformance.all_passed() && run.conformance.checks > 0,
+                    failures: run
+                        .conformance
+                        .failures
+                        .iter()
+                        .map(|(_, _, check, detail)| format!("{check}: {detail}"))
+                        .collect(),
+                }),
+                // The single-engine registry routes nothing it cannot
+                // support: that pair is outside the matrix, not a failure.
+                Err(BdbError::Execution(msg)) if msg.contains("no engine can execute") => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(MatrixReport { mode, cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_engines_are_the_five() {
+        let names: Vec<&str> = builtin_engines().iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["native", "sql", "kv", "streaming", "mapreduce"]);
+    }
+
+    #[test]
+    fn empty_report_does_not_pass() {
+        let r = MatrixReport { mode: VerifyMode::Digest, cells: Vec::new() };
+        assert!(!r.all_passed());
+    }
+}

@@ -20,13 +20,14 @@ use bdb_common::{pool, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
 use bdb_datagen::{merge_datasets, Dataset};
-use bdb_exec::analyzer::RecoverySummary;
+use bdb_exec::analyzer::{ConformanceSummary, RecoverySummary};
 use bdb_exec::engine::ExecutionRequest;
 use bdb_exec::fault::{self, FaultSite, Resilience, RetryPolicy};
-use bdb_exec::reporter::{fmt_num, render_resilience, TableReporter};
+use bdb_exec::reporter::{fmt_num, render_conformance, render_resilience, TableReporter};
 use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_metrics::GenerationMetrics;
 use bdb_testgen::TestGenerator;
+use bdb_verify::{Conformance, GoldenStore, VerifyMode};
 use bdb_workloads::WorkloadResult;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -84,6 +85,9 @@ pub struct BenchmarkRun {
     pub generation: Option<GenerationMetrics>,
     /// Workload results from the execution step.
     pub results: Vec<WorkloadResult>,
+    /// Conformance verdicts distilled from the trace. Empty (zero
+    /// checks) unless the spec asked for verification.
+    pub conformance: ConformanceSummary,
     /// The rendered analysis table.
     pub analysis: String,
     /// Structured events of the whole run: phase spans, generated data
@@ -250,8 +254,26 @@ impl Benchmark {
         // ---- 5. Analysis & evaluation ----
         trace.phase_started(Phase::Analysis);
         let t0 = Instant::now();
-        let analysis =
-            render_analysis(&spec.name, &results, &data_summary, generation.as_ref(), &trace);
+        // Evaluation: when the spec asks for verification, re-check every
+        // result against the reference oracle / golden store. Verdicts
+        // land in the trace; the summary distils them for the report.
+        if let Some(mode) = spec.verify {
+            let store = spec
+                .goldens_dir
+                .as_ref()
+                .map(GoldenStore::at)
+                .or_else(|| GoldenStore::discover(mode == VerifyMode::Update));
+            Conformance::with_store(mode, store).check(&request, &results);
+        }
+        let conformance = ConformanceSummary::from_events(&trace.events());
+        let analysis = render_analysis(
+            &spec.name,
+            &results,
+            &data_summary,
+            generation.as_ref(),
+            &trace,
+            &conformance,
+        );
         finish_phase(&trace, Phase::Analysis, t0);
 
         Ok(BenchmarkRun {
@@ -261,6 +283,7 @@ impl Benchmark {
             generation_rate,
             generation,
             results,
+            conformance,
             analysis,
             trace,
         })
@@ -274,6 +297,7 @@ fn render_analysis(
     data_summary: &[(String, String, usize, usize)],
     generation: Option<&GenerationMetrics>,
     trace: &RunTrace,
+    conformance: &ConformanceSummary,
 ) -> String {
     let mut data = TableReporter::new(
         &format!("{name}: generated data"),
@@ -325,13 +349,21 @@ fn render_analysis(
     } else {
         format!("\n{}", render_resilience(&recovery))
     };
+    // Conformance appears only on verified runs — like recovery, clean
+    // unverified runs keep their analysis unchanged.
+    let conformance_section = if conformance.is_empty() {
+        String::new()
+    } else {
+        format!("\n{}", render_conformance(conformance))
+    };
     format!(
-        "{}\n{}{}{}{}",
+        "{}\n{}{}{}{}{}",
         data.to_text(),
         gen_line,
         dispatch_lines,
         table.to_text(),
-        resilience_section
+        resilience_section,
+        conformance_section
     )
 }
 
@@ -410,6 +442,28 @@ mod tests {
             sql.results[0].detail("output_rows"),
             mr.results[0].detail("output_rows")
         );
+    }
+
+    #[test]
+    fn verified_run_records_conformance() {
+        let spec = BenchmarkSpec::new("test")
+            .with_prescription("micro/wordcount")
+            .with_system(SystemKind::Native)
+            .with_scale(100)
+            .with_seed(5)
+            .with_verify(bdb_verify::VerifyMode::Strict);
+        let r = Benchmark::new().run(&spec).unwrap();
+        assert!(r.conformance.checks >= 1);
+        assert!(r.conformance.all_passed());
+        assert!(r.analysis.contains("Conformance"));
+        assert!(r.trace.events().iter().any(|e| e.label() == "conformance_checked"));
+    }
+
+    #[test]
+    fn unverified_run_stays_quiet() {
+        let r = run("micro/wordcount", SystemKind::Native, 100);
+        assert!(r.conformance.is_empty());
+        assert!(!r.analysis.contains("Conformance"));
     }
 
     #[test]

@@ -157,6 +157,65 @@ impl RecoverySummary {
     }
 }
 
+/// Conformance metrics distilled from a run's trace: how many results
+/// were checked against the reference oracle / golden digests and which
+/// diverged.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConformanceSummary {
+    /// Checks performed, total.
+    pub checks: u64,
+    /// Checks that passed.
+    pub passes: u64,
+    /// Pass/fail counts per check kind ("oracle", "golden").
+    pub by_check: BTreeMap<String, (u64, u64)>,
+    /// Failed checks: `(prescription, engine, check kind, mismatch)`.
+    pub failures: Vec<(String, String, String, String)>,
+}
+
+impl ConformanceSummary {
+    /// Build the summary from a run's trace events.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = ConformanceSummary::default();
+        for e in events {
+            if let TraceEvent::ConformanceChecked {
+                prescription,
+                engine,
+                check,
+                passed,
+                detail,
+                ..
+            } = e
+            {
+                s.checks += 1;
+                let entry = s.by_check.entry(check.clone()).or_insert((0, 0));
+                if *passed {
+                    s.passes += 1;
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                    s.failures.push((
+                        prescription.clone(),
+                        engine.clone(),
+                        check.clone(),
+                        detail.clone(),
+                    ));
+                }
+            }
+        }
+        s
+    }
+
+    /// True when no conformance checks ran.
+    pub fn is_empty(&self) -> bool {
+        self.checks == 0
+    }
+
+    /// True when every check passed (vacuously true with no checks).
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +335,38 @@ mod tests {
         assert!(s.is_quiet());
         assert_eq!(s.degraded_pct(), 0.0);
         assert_eq!(s.faults_injected(), 0);
+    }
+
+    #[test]
+    fn conformance_summary_condenses_trace() {
+        let check = |engine: &str, check: &str, passed: bool, detail: &str| {
+            TraceEvent::ConformanceChecked {
+                prescription: "micro/sort".into(),
+                engine: engine.into(),
+                check: check.into(),
+                payload: "rowset".into(),
+                passed,
+                detail: detail.into(),
+            }
+        };
+        let s = ConformanceSummary::from_events(&[
+            TraceEvent::PhaseStarted { phase: "execution".into() },
+            check("sql", "oracle", true, "digest 0x1"),
+            check("sql", "golden", true, "digest 0x1"),
+            check("mapreduce", "oracle", false, "rowset entry 3 differs"),
+        ]);
+        assert_eq!(s.checks, 3);
+        assert_eq!(s.passes, 2);
+        assert!(!s.all_passed());
+        assert!(!s.is_empty());
+        assert_eq!(s.by_check.get("oracle"), Some(&(1, 1)));
+        assert_eq!(s.by_check.get("golden"), Some(&(1, 0)));
+        assert_eq!(s.failures.len(), 1);
+        assert_eq!(s.failures[0].1, "mapreduce");
+
+        let quiet = ConformanceSummary::from_events(&[]);
+        assert!(quiet.is_empty());
+        assert!(quiet.all_passed());
     }
 
     #[test]

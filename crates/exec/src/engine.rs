@@ -33,7 +33,9 @@ use bdb_testgen::bind::{BoundExecution, MapReduceBinding, PatternExecutor, SqlBi
 use bdb_testgen::ops::{AggSpec, Operation};
 use bdb_testgen::pattern::WorkloadPattern;
 use bdb_testgen::{Prescription, SystemKind};
-use bdb_workloads::{micro, oltp, search, social, streaming, WorkloadCategory, WorkloadResult};
+use bdb_workloads::{
+    micro, oltp, search, social, streaming, OutputPayload, WorkloadCategory, WorkloadResult,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
@@ -489,6 +491,19 @@ fn output_hash(bound: &BoundExecution) -> u64 {
     h & 0xFFFF_FFFF
 }
 
+/// The canonical row-set payload of a bound execution: the sorted output
+/// rows with every value stringified, comparable across engines and
+/// against the reference oracle.
+fn table_payload(bound: &BoundExecution) -> OutputPayload {
+    OutputPayload::RowSet(
+        bound
+            .sorted_rows()
+            .into_iter()
+            .map(|row| row.iter().map(std::string::ToString::to_string).collect())
+            .collect(),
+    )
+}
+
 /// Run a table-pattern binding and assemble the uniform result, emitting
 /// one trace event per executed DAG step.
 fn execute_table_binding(
@@ -526,8 +541,43 @@ fn execute_table_binding(
         req.scale,
     )
     .with_detail("output_rows", bound.output.len() as f64)
-    .with_detail("output_hash", output_hash(&bound) as f64);
+    .with_detail("output_hash", output_hash(&bound) as f64)
+    .with_output(table_payload(&bound));
     Ok(vec![result])
+}
+
+/// Grep hits (matching document indices, in match order) as an ordered
+/// payload.
+fn grep_payload(hits: &[usize]) -> OutputPayload {
+    OutputPayload::Ordered(hits.iter().map(|i| i.to_string()).collect())
+}
+
+/// Word counts as an order-insensitive row set of `(word id, count)`.
+fn wordcount_payload(counts: &[(u32, u64)]) -> OutputPayload {
+    OutputPayload::RowSet(
+        counts.iter().map(|(w, c)| vec![w.to_string(), c.to_string()]).collect(),
+    )
+}
+
+/// Per-vertex numeric results (`v<i>` → value) for iterative graph
+/// kernels, compared within epsilon across engines.
+fn vertex_payload<T: Copy + Into<f64>>(values: &[T]) -> OutputPayload {
+    OutputPayload::Numeric(
+        values.iter().enumerate().map(|(i, v)| (format!("v{i}"), (*v).into())).collect(),
+    )
+}
+
+/// Final centroid coordinates (`c<i>.<dim>` → coordinate) for k-means.
+fn centroid_payload(centroids: &[social::Point]) -> OutputPayload {
+    OutputPayload::Numeric(
+        centroids
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| {
+                c.iter().enumerate().map(move |(d, x)| (format!("c{i}.{d}"), *x)).collect::<Vec<_>>()
+            })
+            .collect(),
+    )
 }
 
 /// The aggregate function of an iterative pattern's body, which selects
@@ -591,15 +641,15 @@ impl Engine for NativeEngine {
                 let r = if let Some(Operation::Grep { pattern }) =
                     ops.iter().find(|o| matches!(o, Operation::Grep { .. }))
                 {
-                    timed(req, "native", "grep", || {
+                    let (hits, r) = timed(req, "native", "grep", || {
                         micro::grep_native(docs, vocab, pattern)
-                    }, |r| r.0.len() as u64)
-                    .1
+                    }, |r| r.0.len() as u64);
+                    r.with_output(grep_payload(&hits))
                 } else {
-                    timed(req, "native", "wordcount", || {
+                    let (counts, r) = timed(req, "native", "wordcount", || {
                         micro::wordcount_native(docs)
-                    }, |r| r.0.len() as u64)
-                    .1
+                    }, |r| r.0.len() as u64);
+                    r.with_output(wordcount_payload(&counts))
                 };
                 Ok(vec![r])
             }
@@ -639,38 +689,36 @@ fn execute_iterative(
                 und.add_edge(v, u);
             }
             let csr = und.to_csr();
-            match backend {
+            let (labels, _, r) = match backend {
                 IterativeBackend::Native => {
                     timed(req, engine, "aggregate", || {
                         social::connected_components(&csr)
                     }, |r| r.0.len() as u64)
-                    .2
                 }
                 IterativeBackend::MapReduce => {
                     let job = req.job_config();
                     timed(req, engine, "aggregate", || {
                         social::connected_components_mapreduce(&csr, &job)
                     }, |r| r.0.len() as u64)
-                    .2
                 }
-            }
+            };
+            r.with_output(vertex_payload(&labels))
         } else {
-            match backend {
+            let (ranks, _, r) = match backend {
                 IterativeBackend::Native => {
                     let csr = g.to_csr();
                     timed(req, engine, "aggregate", || {
                         search::pagerank_native(&csr, &Default::default())
                     }, |r| r.0.len() as u64)
-                    .2
                 }
                 IterativeBackend::MapReduce => {
                     let job = req.job_config();
                     timed(req, engine, "aggregate", || {
                         search::pagerank_mapreduce(g, &Default::default(), &job)
                     }, |r| r.0.len() as u64)
-                    .2
                 }
-            }
+            };
+            r.with_output(vertex_payload(&ranks))
         };
         return Ok(vec![r]);
     }
@@ -679,22 +727,22 @@ fn execute_iterative(
     let table = req.first_table()?;
     let points = social::points_from_table(table)?;
     let n = points.len();
-    let r = match backend {
+    let (centroids, _, _, r) = match backend {
         IterativeBackend::Native => {
             timed(req, engine, "aggregate", || {
                 social::kmeans_native(&points, &Default::default(), req.seed)
             }, |r| r.1.len() as u64)
-            .3
         }
         IterativeBackend::MapReduce => {
             let job = req.job_config();
             timed(req, engine, "aggregate", || {
                 social::kmeans_mapreduce(&points, &Default::default(), req.seed, &job)
             }, |r| r.1.len() as u64)
-            .3
         }
     };
-    Ok(vec![r.with_detail("input_points", n as f64)])
+    Ok(vec![r
+        .with_detail("input_points", n as f64)
+        .with_output(centroid_payload(&centroids))])
 }
 
 /// The MapReduce engine (`bdb-mapreduce`): text kernels, iterative jobs,
@@ -733,15 +781,15 @@ impl Engine for MapReduceEngine {
                 let r = if let Some(Operation::Grep { pattern }) =
                     ops.iter().find(|o| matches!(o, Operation::Grep { .. }))
                 {
-                    timed(req, "mapreduce", "grep", || {
+                    let (hits, r) = timed(req, "mapreduce", "grep", || {
                         micro::grep_mapreduce(docs, vocab, pattern, &job)
-                    }, |r| r.0.len() as u64)
-                    .1
+                    }, |r| r.0.len() as u64);
+                    r.with_output(grep_payload(&hits))
                 } else {
-                    timed(req, "mapreduce", "wordcount", || {
+                    let (counts, r) = timed(req, "mapreduce", "wordcount", || {
                         micro::wordcount_mapreduce(docs, &job)
-                    }, |r| r.0.len() as u64)
-                    .1
+                    }, |r| r.0.len() as u64);
+                    r.with_output(wordcount_payload(&counts))
                 };
                 Ok(vec![r])
             }
@@ -851,11 +899,23 @@ impl Engine for KvEngine {
             clients: req.config.effective_threads().min(8),
             value_size: 100,
         };
-        let r = timed(req, "kv", "element-mix", || {
+        let (_store, counts, r) = timed(req, "kv", "element-mix", || {
             oltp::run_ycsb(&spec, &config, req.seed)
-        }, |r| r.1.reads + r.1.updates + r.1.inserts + r.1.scans + r.1.rmws)
-        .2;
-        Ok(vec![r])
+        }, |r| r.1.reads + r.1.updates + r.1.inserts + r.1.scans + r.1.rmws);
+        // Op counts and the final key population are deterministic for a
+        // given (spec, config, seed) even under concurrent clients: each
+        // client's operation stream is seeded independently, and inserted
+        // keys form a contiguous id range regardless of interleaving.
+        let payload = OutputPayload::Numeric(vec![
+            ("final_keys".into(), (config.record_count + counts.inserts) as f64),
+            ("inserts".into(), counts.inserts as f64),
+            ("read_hits".into(), counts.read_hits as f64),
+            ("reads".into(), counts.reads as f64),
+            ("rmws".into(), counts.rmws as f64),
+            ("scans".into(), counts.scans as f64),
+            ("updates".into(), counts.updates as f64),
+        ]);
+        Ok(vec![r.with_output(payload)])
     }
 }
 
@@ -902,15 +962,29 @@ impl Engine for StreamingEngine {
                 BdbError::Execution("window aggregation needs a stream data set".into())
             })?;
         let cfg = streaming::StreamAnalyticsConfig { window_ms, ..Default::default() };
-        let r = timed(
+        let (outcome, r) = timed(
             req,
             "streaming",
             "window-aggregate",
             || streaming::windowed_aggregation(events, &cfg),
             |r| r.0.windows.len() as u64,
-        )
-        .1;
-        Ok(vec![r])
+        );
+        // Stream output is ordered: with zero allowed lateness and an
+        // in-order source, panes close in deterministic
+        // (window_start, key) order — the documented lateness contract.
+        let payload = OutputPayload::Ordered(
+            outcome
+                .windows
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{}|{}|{}|{}|{:?}|{:?}|{:?}",
+                        w.window_start, w.window_end, w.key, w.count, w.sum, w.min, w.max
+                    )
+                })
+                .collect(),
+        );
+        Ok(vec![r.with_output(payload)])
     }
 }
 

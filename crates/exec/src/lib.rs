@@ -31,7 +31,7 @@ pub mod fault;
 pub mod reporter;
 pub mod trace;
 
-pub use analyzer::{compare, find_crossover, Comparison, RecoverySummary};
+pub use analyzer::{compare, find_crossover, Comparison, ConformanceSummary, RecoverySummary};
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;
 pub use engine::{

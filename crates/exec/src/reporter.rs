@@ -152,6 +152,14 @@ pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
                 site.clone(),
                 format!("{elapsed_ms} ms elapsed > {deadline_ms} ms deadline"),
             ),
+            TraceEvent::ConformanceChecked { prescription, engine, check, payload, passed, detail } => (
+                format!("{prescription}@{engine}"),
+                format!(
+                    "{check} [{payload}] {}{}{detail}",
+                    if *passed { "PASS" } else { "FAIL" },
+                    if detail.is_empty() { "" } else { ": " },
+                ),
+            ),
         };
         t.add_row(&[e.label().to_string(), subject, detail]);
     }
@@ -185,6 +193,30 @@ pub fn render_resilience(summary: &crate::analyzer::RecoverySummary) -> String {
     ]);
     for (site, attempts) in &summary.attempts_per_site {
         t.add_row(&[format!("  {site}"), format!("{attempts} attempts")]);
+    }
+    t.to_text()
+}
+
+/// Render a [`ConformanceSummary`](crate::analyzer::ConformanceSummary)
+/// as an aligned text table. Returns a one-line note when no checks ran.
+pub fn render_conformance(summary: &crate::analyzer::ConformanceSummary) -> String {
+    if summary.is_empty() {
+        return "== Conformance ==\nno conformance checks ran\n".to_string();
+    }
+    let mut t = TableReporter::new("Conformance", &["metric", "value"]);
+    t.add_row(&[
+        "checks".into(),
+        format!("{}/{} passed", summary.passes, summary.checks),
+    ]);
+    for (kind, (pass, fail)) in &summary.by_check {
+        t.add_row(&[format!("  {kind}"), format!("{pass} passed, {fail} failed")]);
+    }
+    t.add_row(&[
+        "verdict".into(),
+        if summary.all_passed() { "CONFORMANT".into() } else { "DIVERGED".into() },
+    ]);
+    for (prescription, engine, check, detail) in &summary.failures {
+        t.add_row(&[format!("  {prescription}@{engine}"), format!("{check}: {detail}")]);
     }
     t.to_text()
 }
@@ -295,6 +327,38 @@ mod tests {
         assert!(text.contains("degraded ops"));
         assert!(text.contains("1/1 (100.0%)"));
         assert!(text.contains("2 attempts"));
+    }
+
+    #[test]
+    fn conformance_report_quiet_and_active() {
+        use crate::analyzer::ConformanceSummary;
+        use crate::trace::TraceEvent;
+        let quiet = ConformanceSummary::default();
+        assert!(render_conformance(&quiet).contains("no conformance checks ran"));
+
+        let s = ConformanceSummary::from_events(&[
+            TraceEvent::ConformanceChecked {
+                prescription: "micro/sort".into(),
+                engine: "sql".into(),
+                check: "oracle".into(),
+                payload: "rowset".into(),
+                passed: true,
+                detail: String::new(),
+            },
+            TraceEvent::ConformanceChecked {
+                prescription: "micro/sort".into(),
+                engine: "mapreduce".into(),
+                check: "golden".into(),
+                payload: "rowset".into(),
+                passed: false,
+                detail: "digest differs".into(),
+            },
+        ]);
+        let text = render_conformance(&s);
+        assert!(text.contains("== Conformance =="));
+        assert!(text.contains("1/2 passed"));
+        assert!(text.contains("DIVERGED"));
+        assert!(text.contains("micro/sort@mapreduce"));
     }
 
     #[test]

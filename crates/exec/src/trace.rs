@@ -113,6 +113,23 @@ pub enum TraceEvent {
         /// The configured deadline, milliseconds.
         deadline_ms: u64,
     },
+    /// A conformance check compared an engine's result against the
+    /// reference oracle or a stored golden digest.
+    ConformanceChecked {
+        /// Prescription name.
+        prescription: String,
+        /// The engine whose result was checked.
+        engine: String,
+        /// Check kind ("oracle" or "golden").
+        check: String,
+        /// Payload shape compared ("rowset", "ordered", "numeric",
+        /// or "none" when the engine attached no output).
+        payload: String,
+        /// Did the check pass?
+        passed: bool,
+        /// Mismatch description on failure; digest note on success.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -128,6 +145,7 @@ impl TraceEvent {
             TraceEvent::OperationRetried { .. } => "operation_retried",
             TraceEvent::EngineFailedOver { .. } => "engine_failed_over",
             TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
+            TraceEvent::ConformanceChecked { .. } => "conformance_checked",
         }
     }
 
@@ -270,6 +288,19 @@ mod tests {
             assert_eq!(*e, back);
         }
         assert!(!TraceEvent::PhaseStarted { phase: "x".into() }.is_recovery());
+        let check = TraceEvent::ConformanceChecked {
+            prescription: "micro/sort".into(),
+            engine: "sql".into(),
+            check: "oracle".into(),
+            payload: "rowset".into(),
+            passed: true,
+            detail: "digest 0xabc".into(),
+        };
+        assert!(!check.is_recovery());
+        assert_eq!(check.label(), "conformance_checked");
+        let json = serde_json::to_string(&check).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(check, back);
         assert_eq!(events[0].label(), "fault_injected");
         assert_eq!(events[1].label(), "operation_retried");
         assert_eq!(events[2].label(), "engine_failed_over");

@@ -54,6 +54,155 @@ impl std::fmt::Display for WorkloadCategory {
     }
 }
 
+/// The canonical, comparable *answer* a workload computed, carried
+/// alongside the metrics so a conformance checker can diff the result of
+/// one engine against another (or against a reference oracle).
+///
+/// Three shapes cover every operation class, each with its own equality
+/// contract:
+///
+/// * [`OutputPayload::RowSet`] — relational / batch output compared as a
+///   multiset of rows (row order is meaningless);
+/// * [`OutputPayload::Ordered`] — stream output compared element by
+///   element in emission order (in-order streams with zero allowed
+///   lateness emit panes in deterministic `(window_start, key)` order);
+/// * [`OutputPayload::Numeric`] — named floating-point results compared
+///   within a stated epsilon (iterative kernels whose summation order may
+///   legally differ across engines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputPayload {
+    /// Unordered relational output: a multiset of stringified rows.
+    RowSet(Vec<Vec<String>>),
+    /// Ordered output: one string per emitted element, in order.
+    Ordered(Vec<String>),
+    /// Named numeric outputs: `(name, value)` pairs in name order.
+    Numeric(Vec<(String, f64)>),
+}
+
+impl OutputPayload {
+    /// A short label naming the payload shape.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutputPayload::RowSet(_) => "rowset",
+            OutputPayload::Ordered(_) => "ordered",
+            OutputPayload::Numeric(_) => "numeric",
+        }
+    }
+
+    /// Number of elements (rows / entries / values) in the payload.
+    pub fn len(&self) -> usize {
+        match self {
+            OutputPayload::RowSet(rows) => rows.len(),
+            OutputPayload::Ordered(items) => items.len(),
+            OutputPayload::Numeric(vals) => vals.len(),
+        }
+    }
+
+    /// True when the payload holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Canonical text lines: the digest and all comparisons run over this
+    /// form. Row sets are sorted (making multiset equality a plain
+    /// sequence comparison); ordered payloads keep their order; numeric
+    /// values render with full precision via `{:?}`.
+    pub fn canonical_lines(&self) -> Vec<String> {
+        match self {
+            OutputPayload::RowSet(rows) => {
+                let mut lines: Vec<String> =
+                    rows.iter().map(|r| r.join("\u{1f}")).collect();
+                lines.sort_unstable();
+                lines
+            }
+            OutputPayload::Ordered(items) => items.clone(),
+            OutputPayload::Numeric(vals) => {
+                vals.iter().map(|(k, v)| format!("{k}\u{1f}{v:?}")).collect()
+            }
+        }
+    }
+
+    /// A stable 64-bit FNV-1a digest of the canonical form, prefixed by
+    /// the payload shape so a row set never collides with an ordered
+    /// stream of the same lines.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.label().as_bytes());
+        eat(&[0x1e]);
+        for line in self.canonical_lines() {
+            eat(line.as_bytes());
+            eat(&[0x1e]);
+        }
+        h
+    }
+
+    /// Compare against another payload under this shape's equality
+    /// contract. Numeric values match within `epsilon` relative error
+    /// (absolute for values below 1). Returns a human-readable mismatch
+    /// description, or `None` when the payloads agree.
+    pub fn diff(&self, other: &OutputPayload, epsilon: f64) -> Option<String> {
+        match (self, other) {
+            (OutputPayload::Numeric(a), OutputPayload::Numeric(b)) => {
+                if a.len() != b.len() {
+                    return Some(format!(
+                        "numeric arity differs: {} vs {} values",
+                        a.len(),
+                        b.len()
+                    ));
+                }
+                for ((ka, va), (kb, vb)) in a.iter().zip(b) {
+                    if ka != kb {
+                        return Some(format!("numeric keys differ: {ka} vs {kb}"));
+                    }
+                    let tol = epsilon * va.abs().max(1.0);
+                    if !((va - vb).abs() <= tol
+                        || (va.is_nan() && vb.is_nan()))
+                    {
+                        return Some(format!(
+                            "{ka}: {va} vs {vb} (tolerance {tol:e})"
+                        ));
+                    }
+                }
+                None
+            }
+            (a, b) if a.label() != b.label() => Some(format!(
+                "payload shapes differ: {} vs {}",
+                a.label(),
+                b.label()
+            )),
+            (a, b) => {
+                let la = a.canonical_lines();
+                let lb = b.canonical_lines();
+                if la.len() != lb.len() {
+                    return Some(format!(
+                        "{} size differs: {} vs {} entries",
+                        a.label(),
+                        la.len(),
+                        lb.len()
+                    ));
+                }
+                for (i, (x, y)) in la.iter().zip(&lb).enumerate() {
+                    if x != y {
+                        return Some(format!(
+                            "{} entry {i} differs: {:?} vs {:?}",
+                            a.label(),
+                            x.replace('\u{1f}', "|"),
+                            y.replace('\u{1f}', "|")
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
 /// The uniform result of running any workload.
 #[derive(Debug, Clone)]
 pub struct WorkloadResult {
@@ -63,6 +212,10 @@ pub struct WorkloadResult {
     pub category: WorkloadCategory,
     /// Workload-specific scalar outputs (iterations, accuracy, …).
     pub details: BTreeMap<String, f64>,
+    /// The computed answer in canonical comparable form, when the
+    /// executing engine captured one (engines attach this so conformance
+    /// checking can diff results without re-running).
+    pub output: Option<OutputPayload>,
 }
 
 impl WorkloadResult {
@@ -87,12 +240,18 @@ impl WorkloadResult {
             0.7,
             std::thread::available_parallelism().map_or(4, |n| n.get()),
         );
-        Self { report, category, details: BTreeMap::new() }
+        Self { report, category, details: BTreeMap::new(), output: None }
     }
 
     /// Attach a named detail value.
     pub fn with_detail(mut self, key: &str, value: f64) -> Self {
         self.details.insert(key.to_string(), value);
+        self
+    }
+
+    /// Attach the canonical output payload.
+    pub fn with_output(mut self, output: OutputPayload) -> Self {
+        self.output = Some(output);
         self
     }
 
@@ -126,5 +285,52 @@ mod tests {
         assert_eq!(r.report.workload, "micro/sort");
         assert_eq!(r.detail("items"), Some(10.0));
         assert_eq!(r.detail("missing"), None);
+        assert!(r.output.is_none());
+    }
+
+    #[test]
+    fn rowset_equality_ignores_row_order() {
+        let a = OutputPayload::RowSet(vec![
+            vec!["1".into(), "x".into()],
+            vec!["2".into(), "y".into()],
+        ]);
+        let b = OutputPayload::RowSet(vec![
+            vec!["2".into(), "y".into()],
+            vec!["1".into(), "x".into()],
+        ]);
+        assert_eq!(a.diff(&b, 0.0), None);
+        assert_eq!(a.digest(), b.digest());
+        let c = OutputPayload::RowSet(vec![vec!["1".into(), "z".into()]]);
+        assert!(a.diff(&c, 0.0).is_some());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn ordered_equality_is_positional() {
+        let a = OutputPayload::Ordered(vec!["w1".into(), "w2".into()]);
+        let b = OutputPayload::Ordered(vec!["w2".into(), "w1".into()]);
+        assert!(a.diff(&b, 0.0).is_some());
+        assert_eq!(a.diff(&a.clone(), 0.0), None);
+    }
+
+    #[test]
+    fn numeric_equality_uses_epsilon() {
+        let a = OutputPayload::Numeric(vec![("rank0".into(), 100.0)]);
+        let close = OutputPayload::Numeric(vec![("rank0".into(), 100.0 + 1e-7)]);
+        let far = OutputPayload::Numeric(vec![("rank0".into(), 101.0)]);
+        assert_eq!(a.diff(&close, 1e-6), None);
+        assert!(a.diff(&far, 1e-6).is_some());
+        // Shape mismatches are always reported.
+        assert!(a.diff(&OutputPayload::Ordered(vec![]), 1e-6).is_some());
+    }
+
+    #[test]
+    fn digest_separates_shapes() {
+        let rows = OutputPayload::RowSet(vec![vec!["a".into()]]);
+        let ordered = OutputPayload::Ordered(vec!["a".into()]);
+        assert_ne!(rows.digest(), ordered.digest());
+        assert_eq!(rows.len(), 1);
+        assert!(!rows.is_empty());
+        assert!(OutputPayload::Numeric(vec![]).is_empty());
     }
 }

@@ -42,4 +42,27 @@ if [ "$faults" -lt 1 ] || [ "$retries" -lt 1 ]; then
 fi
 echo "chaos smoke: recovered from $faults injected fault(s) with $retries retr(y/ies)"
 
+echo "== conformance gate (golden digests) =="
+# Two seeded runs verified against the committed golden store: a digest
+# mismatch (any semantics drift in generators, binding or engines) fails
+# CI. Machine-independent prescriptions only — Element-class digests
+# depend on the engine thread count, which `bdbench verify` pins but a
+# plain run does not.
+for prescription in micro/wordcount relational/select-aggregate; do
+    ./target/release/bdbench run "$prescription" --scale 300 --seed 42 \
+        --verify=digest --goldens goldens >/dev/null \
+        || { echo "conformance gate: $prescription diverged from its golden"; exit 1; }
+    echo "conformance gate: $prescription matches its golden digest"
+done
+
+echo "== bench smoke (hot-path perf report) =="
+# The self-timing bench must run to completion and produce a well-formed
+# machine-readable report naming all measured hot paths.
+./scripts/bench.sh BENCH_4.json >/dev/null || { echo "bench smoke failed"; exit 1; }
+for path in datagen_parallel_items dispatch_route_all window_pipeline_events lsm_put_ops lsm_get_ops; do
+    grep -q "\"name\":\"$path\"" BENCH_4.json \
+        || { echo "bench smoke: $path missing from BENCH_4.json"; exit 1; }
+done
+echo "bench smoke: BENCH_4.json covers all five hot paths"
+
 echo "CI gate passed."

@@ -25,6 +25,7 @@ pub use bdb_sql as sql;
 pub use bdb_stream as stream;
 pub use bdb_suites as suites;
 pub use bdb_testgen as testgen;
+pub use bdb_verify as verify;
 pub use bdb_workloads as workloads;
 
 /// Everything an application typically needs.

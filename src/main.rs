@@ -9,12 +9,17 @@
 //!     --faults <spec>                  # inject faults (kind@phase:rate[:ms=N][:max=N],…)
 //!     --retries <n>                    # retries per operation (with backoff)
 //!     --deadline-ms <n>                # per-operation wall-clock deadline
+//!     --verify[=strict|digest|update]  # differential conformance check
+//!     --goldens <dir>                  # explicit golden-store directory
+//! bdbench verify [--scale n] [--seed n] [--mode M] [--goldens dir]
+//!                                      # sweep prescriptions × engines
 //! bdbench table1 [--seed n]            # regenerate the paper's Table 1
 //! bdbench table2 [--scale n] [--seed n]# regenerate the paper's Table 2
 //! bdbench suite <name> [--scale n]     # run one surveyed suite's workloads
 //! ```
 
 use bdbench::core::layers::BenchmarkSpec;
+use bdbench::core::matrix::verify_matrix;
 use bdbench::core::pipeline::Benchmark;
 use bdbench::core::registry::GeneratorRegistry;
 use bdbench::exec::convert::trace_to_jsonl;
@@ -22,26 +27,33 @@ use bdbench::exec::engine::EngineRegistry;
 use bdbench::suites::table2::render_workload_details;
 use bdbench::suites::{all_suites, table1, table2};
 use bdbench::testgen::{PrescriptionRepository, SystemKind};
+use bdbench::verify::VerifyMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
+        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
     );
     std::process::exit(2)
 }
 
-/// Pull `--key value` options out of the argument list, rejecting any key
-/// that is not in `allowed` so a typo fails loudly instead of being
-/// silently ignored.
+/// Pull `--key value` / `--key=value` options out of the argument list,
+/// rejecting any key that is not in `allowed` so a typo fails loudly
+/// instead of being silently ignored. Keys in `flags` may also appear
+/// bare (`--verify`), parsing as an empty value.
 fn parse_opts<'a>(
     args: &'a [String],
     allowed: &[&str],
+    flags: &[&str],
 ) -> (Vec<&'a String>, std::collections::BTreeMap<String, String>) {
     let mut positional = Vec::new();
     let mut opts = std::collections::BTreeMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
+        if let Some(rest) = args[i].strip_prefix("--") {
+            let (key, inline) = match rest.split_once('=') {
+                Some((k, v)) => (k, Some(v.to_string())),
+                None => (rest, None),
+            };
             if !allowed.contains(&key) {
                 eprintln!(
                     "unknown option --{key} (expected one of: {})",
@@ -49,12 +61,19 @@ fn parse_opts<'a>(
                 );
                 usage();
             }
-            if i + 1 >= args.len() {
+            let value = if let Some(v) = inline {
+                v
+            } else if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else if flags.contains(&key) {
+                String::new()
+            } else {
                 eprintln!("missing value for --{key}");
                 usage();
-            }
-            opts.insert(key.to_string(), args[i + 1].clone());
-            i += 2;
+            };
+            opts.insert(key.to_string(), value);
+            i += 1;
         } else {
             positional.push(&args[i]);
             i += 1;
@@ -79,6 +98,7 @@ fn main() {
     let result = match command.as_str() {
         "list" => cmd_list(),
         "run" => cmd_run(rest),
+        "verify" => cmd_verify(rest),
         "table1" => cmd_table1(rest),
         "table2" => cmd_table2(rest),
         "suite" => cmd_suite(rest),
@@ -115,7 +135,20 @@ fn cmd_list() -> bdbench::common::Result<()> {
 fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
     let (positional, opts) = parse_opts(
         args,
-        &["system", "scale", "seed", "workers", "rate", "trace", "faults", "retries", "deadline-ms"],
+        &[
+            "system",
+            "scale",
+            "seed",
+            "workers",
+            "rate",
+            "trace",
+            "faults",
+            "retries",
+            "deadline-ms",
+            "verify",
+            "goldens",
+        ],
+        &["verify"],
     );
     let Some(prescription) = positional.first() else { usage() };
     let system = match opts.get("system").map(String::as_str) {
@@ -158,6 +191,12 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
     if opts.contains_key("deadline-ms") {
         spec = spec.with_deadline_ms(opt_u64(&opts, "deadline-ms", 0));
     }
+    if let Some(mode) = opts.get("verify") {
+        spec = spec.with_verify(mode.parse::<VerifyMode>()?);
+    }
+    if let Some(dir) = opts.get("goldens") {
+        spec = spec.with_goldens_dir(dir);
+    }
     let run = Benchmark::new().run(&spec)?;
     println!("== phases ==");
     for phase in &run.phases {
@@ -193,11 +232,37 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
             eprintln!("trace: {} events written to {target}", run.trace.len());
         }
     }
+    if spec.verify.is_some() && !(run.conformance.checks > 0 && run.conformance.all_passed()) {
+        return Err(bdbench::common::BdbError::Execution(format!(
+            "conformance: {}/{} checks passed",
+            run.conformance.passes, run.conformance.checks
+        )));
+    }
     Ok(())
 }
 
+fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
+    let (_, opts) = parse_opts(args, &["scale", "seed", "mode", "goldens"], &[]);
+    let mode = opts.get("mode").map_or(Ok(VerifyMode::Strict), |m| m.parse::<VerifyMode>())?;
+    let report = verify_matrix(
+        opt_u64(&opts, "scale", 300),
+        opt_u64(&opts, "seed", 42),
+        mode,
+        opts.get("goldens").map(String::as_str),
+    )?;
+    println!("{}", report.render());
+    if report.all_passed() {
+        Ok(())
+    } else {
+        Err(bdbench::common::BdbError::Execution(format!(
+            "verification matrix diverged in {} cell(s)",
+            report.failed_cells().len()
+        )))
+    }
+}
+
 fn cmd_table1(args: &[String]) -> bdbench::common::Result<()> {
-    let (_, opts) = parse_opts(args, &["seed"]);
+    let (_, opts) = parse_opts(args, &["seed"], &[]);
     let suites = all_suites();
     let (rows, text) = table1::render_table1(&suites, opt_u64(&opts, "seed", 0xBD))?;
     println!("{text}");
@@ -211,7 +276,7 @@ fn cmd_table1(args: &[String]) -> bdbench::common::Result<()> {
 }
 
 fn cmd_table2(args: &[String]) -> bdbench::common::Result<()> {
-    let (_, opts) = parse_opts(args, &["scale", "seed"]);
+    let (_, opts) = parse_opts(args, &["scale", "seed"], &[]);
     let suites = all_suites();
     let (_, text) = table2::render_table2(
         &suites,
@@ -223,7 +288,7 @@ fn cmd_table2(args: &[String]) -> bdbench::common::Result<()> {
 }
 
 fn cmd_suite(args: &[String]) -> bdbench::common::Result<()> {
-    let (positional, opts) = parse_opts(args, &["scale", "seed"]);
+    let (positional, opts) = parse_opts(args, &["scale", "seed"], &[]);
     let Some(name) = positional.first() else { usage() };
     let suites = all_suites();
     let suite = suites

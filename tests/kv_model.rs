@@ -92,3 +92,85 @@ proptest! {
         run_model(&ops, 0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Tombstone-focused coverage: deletes must stay dead across flushes and
+// compactions, and only an explicit re-put may resurrect a key.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tombstones_survive_flush_and_compaction(
+        entries in prop::collection::vec((any::<u16>(), any::<u8>()), 1..100),
+        deletes in prop::collection::vec(any::<u16>(), 0..60),
+    ) {
+        // Tiny memtable so puts, deletes and tombstones all cross run
+        // boundaries before the compaction folds them together.
+        let mut store = LsmStore::with_config(LsmConfig {
+            memtable_capacity_bytes: 96,
+            max_runs: 3,
+            bloom_bits_per_key: 10,
+        });
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (k, v) in &entries {
+            store.put(key_bytes(k % 256), vec![*v]);
+            model.insert(key_bytes(k % 256), vec![*v]);
+        }
+        store.flush();
+        for k in &deletes {
+            store.delete(key_bytes(k % 256));
+            model.remove(&key_bytes(k % 256));
+        }
+        store.flush();
+        store.compact();
+        // Deleted keys are gone, survivors keep their latest value.
+        for (k, _) in &entries {
+            prop_assert_eq!(
+                store.get(&key_bytes(k % 256)),
+                model.get(&key_bytes(k % 256)).cloned(),
+                "key {} diverged after compaction", k % 256
+            );
+        }
+        // A second compaction must not resurrect anything.
+        store.compact();
+        for k in &deletes {
+            prop_assert_eq!(
+                store.get(&key_bytes(k % 256)),
+                model.get(&key_bytes(k % 256)).cloned(),
+                "tombstoned key {} changed on idempotent compaction", k % 256
+            );
+        }
+        // The full scan sees exactly the surviving keys.
+        let all = store.scan(&[], None, usize::MAX);
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(all, want);
+        // Re-putting a deleted key resurrects it — tombstones shadow
+        // history, not the future.
+        if let Some(k) = deletes.first() {
+            store.put(key_bytes(k % 256), vec![0xAB]);
+            store.flush();
+            store.compact();
+            prop_assert_eq!(store.get(&key_bytes(k % 256)), Some(vec![0xAB]));
+        }
+    }
+
+    /// Interleaved put/delete/compact churn on a small key domain: the
+    /// store tracks the model through heavy tombstone traffic.
+    #[test]
+    fn delete_heavy_churn_matches_model(
+        ops in prop::collection::vec(
+            prop_oneof![
+                3 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 32, v)),
+                3 => any::<u16>().prop_map(|k| Op::Delete(k % 32)),
+                2 => any::<u16>().prop_map(|k| Op::Get(k % 32)),
+                1 => Just(Op::Flush),
+                1 => Just(Op::Compact),
+            ],
+            0..250,
+        ),
+    ) {
+        run_model(&ops, 10);
+    }
+}

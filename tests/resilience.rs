@@ -150,3 +150,160 @@ fn clean_runs_stay_clean() {
     assert!(!run.analysis.contains("== Resilience =="));
     assert_eq!(run.results[0].detail("attempts"), None);
 }
+
+// ---------------------------------------------------------------------
+// RetryPolicy properties: the backoff envelope, attempt accounting, and
+// the deadline contract.
+
+mod retry_policy_properties {
+    use bdbench::common::BdbError;
+    use bdbench::exec::fault::{run_with_recovery, FaultSite, Resilience, RetryPolicy};
+    use bdbench::exec::trace::RunTrace;
+    use proptest::prelude::*;
+    use std::time::Instant;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Jittered backoff stays inside its envelope for arbitrary
+        /// policies: at least the capped exponential delay, at most the
+        /// cap, and never more than +50% jitter over the exponential.
+        #[test]
+        fn backoff_delay_stays_within_envelope(
+            seed in any::<u64>(),
+            attempt in 1u32..=30,
+            base in 0u64..=5_000,
+            max in 1u64..=10_000,
+        ) {
+            let policy = RetryPolicy {
+                max_retries: 5,
+                base_delay_ms: base,
+                max_delay_ms: max,
+                deadline_ms: None,
+            };
+            let exp = base
+                .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+                .min(max);
+            let delay = policy.delay(seed, attempt).as_millis() as u64;
+            prop_assert!(delay >= exp, "delay {delay} under exponential floor {exp}");
+            prop_assert!(delay <= max, "delay {delay} over cap {max}");
+            prop_assert!(
+                delay as f64 <= exp as f64 * 1.5,
+                "delay {delay} over jitter ceiling for exp {exp}"
+            );
+        }
+
+        /// Backoff is deterministic in (seed, attempt) and monotone in
+        /// the uncapped region: doubling attempts never shrinks the
+        /// exponential floor.
+        #[test]
+        fn backoff_is_deterministic(seed in any::<u64>(), attempt in 1u32..=30) {
+            let policy = RetryPolicy::default();
+            prop_assert_eq!(policy.delay(seed, attempt), policy.delay(seed, attempt));
+        }
+
+        /// An always-failing operation consumes exactly the attempts the
+        /// policy allows — max_retries + 1 — and records one retry event
+        /// per backoff.
+        #[test]
+        fn attempt_counts_match_policy(retries in 0u32..6, seed in any::<u64>()) {
+            let policy = RetryPolicy {
+                max_retries: retries,
+                base_delay_ms: 0,
+                max_delay_ms: 0,
+                deadline_ms: None,
+            };
+            let res = Resilience::new(None, policy, seed);
+            let trace = RunTrace::new();
+            let site = FaultSite::execution("native", "prop/always-fails");
+            let mut calls = 0u32;
+            let failure = run_with_recovery::<()>(
+                &res,
+                &trace,
+                &site,
+                Instant::now(),
+                &mut || {
+                    calls += 1;
+                    Err(BdbError::Execution("always fails".into()))
+                },
+            )
+            .unwrap_err();
+            prop_assert_eq!(failure.attempts, retries + 1);
+            prop_assert_eq!(calls, retries + 1);
+            prop_assert!(!failure.deadline_hit);
+            let retry_events = trace
+                .events()
+                .iter()
+                .filter(|e| e.label() == "operation_retried")
+                .count();
+            prop_assert_eq!(retry_events as u32, retries);
+        }
+    }
+
+    proptest! {
+        // Real sleeps are involved: keep the case count low.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The deadline is overshot by at most one backoff sleep (plus
+        /// scheduling slack): the check runs before every attempt, so the
+        /// worst case is a sleep that started just inside the budget.
+        #[test]
+        fn deadline_exceeded_by_at_most_one_sleep(
+            deadline in 1u64..12,
+            delay in 1u64..8,
+        ) {
+            let policy = RetryPolicy {
+                max_retries: u32::MAX,
+                base_delay_ms: delay,
+                max_delay_ms: delay,
+                deadline_ms: Some(deadline),
+            };
+            let res = Resilience::new(None, policy, 1);
+            let trace = RunTrace::new();
+            let site = FaultSite::execution("native", "prop/deadline");
+            let started = Instant::now();
+            let failure = run_with_recovery::<()>(
+                &res,
+                &trace,
+                &site,
+                started,
+                &mut || Err(BdbError::Execution("always fails".into())),
+            )
+            .unwrap_err();
+            let elapsed = started.elapsed().as_millis() as u64;
+            prop_assert!(failure.deadline_hit);
+            // deadline + one full (jittered) sleep + generous OS slack.
+            prop_assert!(
+                elapsed <= deadline + delay * 2 + 60,
+                "overshot: {elapsed} ms vs deadline {deadline} + sleep {delay}"
+            );
+            prop_assert!(
+                trace.events().iter().any(|e| e.label() == "deadline_exceeded")
+            );
+        }
+    }
+
+    /// A deadline of zero fails before the first attempt even runs.
+    #[test]
+    fn zero_deadline_fails_without_attempting() {
+        let policy = RetryPolicy::default().with_deadline_ms(0);
+        let res = Resilience::new(None, policy, 1);
+        let trace = RunTrace::new();
+        let site = FaultSite::execution("native", "prop/zero-deadline");
+        let mut calls = 0u32;
+        let failure = run_with_recovery::<()>(
+            &res,
+            &trace,
+            &site,
+            Instant::now(),
+            &mut || {
+                calls += 1;
+                Err(BdbError::Execution("unreachable".into()))
+            },
+        )
+        .unwrap_err();
+        assert!(failure.deadline_hit);
+        assert_eq!(failure.attempts, 0);
+        assert_eq!(calls, 0);
+    }
+}

@@ -113,3 +113,112 @@ proptest! {
         prop_assert_eq!(got, want);
     }
 }
+
+// ---------------------------------------------------------------------
+// Optimizer equivalence: predicate pushdown and projection pruning must
+// never change a query's result — random queries run through both the
+// optimized and the unoptimized plan and the row sets are compared.
+
+mod optimizer_equivalence {
+    use super::table_of;
+    use bdbench::common::record::Table;
+    use bdbench::common::value::{DataType, Field, Schema, Value};
+    use bdbench::sql::optimizer::optimize;
+    use bdbench::sql::parser::parse;
+    use bdbench::sql::plan::build_logical_plan;
+    use bdbench::sql::{Catalog, Executor};
+    use proptest::prelude::*;
+
+    fn right_table(rows: &[(i64, i64)]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("w", DataType::Int),
+        ]);
+        let mut t = Table::new(schema);
+        for &(g, w) in rows {
+            t.push(vec![Value::Int(g), Value::Int(w)]).unwrap();
+        }
+        t
+    }
+
+    /// Execute `sql` against `catalog` twice — raw plan and optimized
+    /// plan — and return both results as sorted row text.
+    fn both_ways(catalog: &Catalog, sql: &str) -> (Vec<String>, Vec<String>) {
+        let raw_plan = build_logical_plan(parse(sql).unwrap(), catalog).unwrap();
+        let opt_plan = optimize(raw_plan.clone());
+        let sorted = |t: Table| {
+            let mut rows: Vec<String> = t
+                .rows()
+                .iter()
+                .map(|r| {
+                    r.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join("\u{1f}")
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        let raw = sorted(Executor::new(catalog).run(&raw_plan).unwrap());
+        let opt = sorted(Executor::new(catalog).run(&opt_plan).unwrap());
+        (raw, opt)
+    }
+
+    fn arb_query() -> impl Strategy<Value = String> {
+        let pred = prop_oneof![
+            Just(String::new()),
+            (-40i64..40).prop_map(|x| format!(" WHERE a > {x}")),
+            (-40i64..40).prop_map(|x| format!(" WHERE a < {x} AND g >= 1")),
+            (-40i64..40, 0i64..5).prop_map(|(x, y)| format!(" WHERE a >= {x} AND g = {y}")),
+        ];
+        let shape = prop_oneof![
+            Just("SELECT a, g FROM t".to_string()),
+            Just("SELECT a FROM t".to_string()),
+            Just("SELECT g, COUNT(*) AS n, SUM(a) AS s FROM t{P} GROUP BY g".to_string()),
+            Just("SELECT t.a, r.w FROM t JOIN r ON t.g = r.g".to_string()),
+            Just("SELECT t.a, r.w FROM t JOIN r ON t.g = r.g ORDER BY t.a, r.w LIMIT 10".to_string()),
+        ];
+        (shape, pred).prop_map(|(shape, pred)| {
+            if shape.contains("{P}") {
+                shape.replace("{P}", &pred)
+            } else if shape.contains("JOIN") {
+                shape
+            } else {
+                format!("{shape}{pred}")
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn optimized_plan_returns_identical_rows(
+            left in prop::collection::vec((-50i64..50, 0i64..5), 0..60),
+            right in prop::collection::vec((0i64..5, -20i64..20), 0..30),
+            sql in arb_query(),
+        ) {
+            let mut catalog = Catalog::new();
+            catalog.register("t", table_of(&left)).unwrap();
+            catalog.register("r", right_table(&right)).unwrap();
+            let (raw, opt) = both_ways(&catalog, &sql);
+            prop_assert_eq!(raw, opt, "optimizer changed {}", sql);
+        }
+
+        /// The optimizer is idempotent: optimizing an optimized plan is a
+        /// fixpoint, and still evaluates identically.
+        #[test]
+        fn optimize_is_idempotent_on_random_predicates(
+            left in prop::collection::vec((-50i64..50, 0i64..5), 0..40),
+            threshold in -40i64..40,
+        ) {
+            let mut catalog = Catalog::new();
+            catalog.register("t", table_of(&left)).unwrap();
+            let sql = format!("SELECT a FROM t WHERE a > {threshold} AND g < 4");
+            let plan = build_logical_plan(parse(&sql).unwrap(), &catalog).unwrap();
+            let once = optimize(plan);
+            let twice = optimize(once.clone());
+            let a = Executor::new(&catalog).run(&once).unwrap();
+            let b = Executor::new(&catalog).run(&twice).unwrap();
+            prop_assert_eq!(a.rows(), b.rows());
+        }
+    }
+}
