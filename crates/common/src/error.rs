@@ -28,6 +28,19 @@ pub enum BdbError {
     Format(String),
     /// An I/O failure, carried as a string so the error stays `Clone`.
     Io(String),
+    /// The process (or an injected kill point) aborted mid-operation.
+    /// Crashes are terminal: the recovery loop must not retry or fail
+    /// over past one — the run ends and durable state is whatever was
+    /// already written. Recovery happens on the next open/resume.
+    Crashed(String),
+}
+
+impl BdbError {
+    /// True for [`BdbError::Crashed`] — the one error class retry,
+    /// failover and deadline machinery must never absorb.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, BdbError::Crashed(_))
+    }
 }
 
 impl fmt::Display for BdbError {
@@ -43,6 +56,7 @@ impl fmt::Display for BdbError {
             BdbError::NotFound(m) => write!(f, "not found: {m}"),
             BdbError::Format(m) => write!(f, "format error: {m}"),
             BdbError::Io(m) => write!(f, "io error: {m}"),
+            BdbError::Crashed(m) => write!(f, "crashed: {m}"),
         }
     }
 }
@@ -73,10 +87,18 @@ mod tests {
             (BdbError::NotFound("x".into()), "not found: x"),
             (BdbError::Format("x".into()), "format error: x"),
             (BdbError::Io("x".into()), "io error: x"),
+            (BdbError::Crashed("x".into()), "crashed: x"),
         ];
         for (err, want) in cases {
             assert_eq!(err.to_string(), want);
         }
+    }
+
+    #[test]
+    fn only_crashes_are_crashes() {
+        assert!(BdbError::Crashed("kill point".into()).is_crash());
+        assert!(!BdbError::Execution("retryable".into()).is_crash());
+        assert!(!BdbError::Io("disk".into()).is_crash());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Crash-safe filesystem primitives.
+//!
+//! Every durable artifact in the benchmark — the KV store's manifest and
+//! SSTables, run-journal checkpoints, golden-run records — goes to disk
+//! through [`write_atomic`]: write a temp file in the destination
+//! directory, then rename over the target. POSIX rename is atomic within
+//! a filesystem, so a reader (including a recovering process) observes
+//! either the old content or the new, never a torn prefix.
+
+use crate::error::{BdbError, Result};
+use std::path::Path;
+
+/// Write `bytes` to `path` via temp-file + rename in the same directory.
+///
+/// The temp file is named `.<target>.tmp-<pid>`, so concurrent writers in
+/// different processes cannot collide and crash leftovers are
+/// recognisable (and ignorable — loaders only read the target name).
+///
+/// # Errors
+/// Fails on filesystem errors; the temp file is removed when the rename
+/// fails.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let dir = path.parent().unwrap_or(Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("file"),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, bytes)
+        .map_err(|e| BdbError::Io(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        BdbError::Io(format!("rename {} -> {}: {e}", tmp.display(), path.display()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replaces_content_without_leftovers() {
+        let dir = std::env::temp_dir().join(format!("bdb-fsio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("file.json");
+        write_atomic(&path, b"one").unwrap();
+        write_atomic(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fails_cleanly_when_target_dir_is_missing() {
+        let path = std::env::temp_dir()
+            .join(format!("bdb-fsio-missing-{}", std::process::id()))
+            .join("nope")
+            .join("file.json");
+        assert!(write_atomic(&path, b"x").is_err());
+    }
+}

@@ -19,6 +19,7 @@
 pub mod dist;
 pub mod event;
 pub mod error;
+pub mod fsio;
 pub mod graph;
 pub mod histogram;
 pub mod pool;

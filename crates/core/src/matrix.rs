@@ -7,16 +7,31 @@
 //! and collects the conformance verdicts per cell. Engine threads are
 //! pinned (4) so Element-class cells produce machine-independent golden
 //! digests regardless of the host's parallelism.
+//!
+//! [`verify_matrix_with`] adds crash durability to the sweep: an optional
+//! [`RunJournal`] checkpoints every completed cell atomically, and an
+//! optional [`FaultPlan`] arms kill points *between* cells — one injector
+//! spans the whole sweep (per-cell injectors would reset the draw
+//! sequence and kill every cell), and a fired `crash` clause aborts the
+//! run with [`BdbError::Crashed`], leaving the journal behind. Re-running
+//! with the same journal resumes: checkpointed cells are skipped, their
+//! recorded digests re-verified against the golden store, and only the
+//! remaining cells execute — so a killed-and-resumed sweep's verdicts are
+//! comparable cell-for-cell with an uninterrupted run's.
 
 use crate::layers::BenchmarkSpec;
 use crate::pipeline::Benchmark;
 use bdb_common::{BdbError, Result};
+use bdb_exec::analyzer::RecoverySummary;
 use bdb_exec::config::SystemConfig;
 use bdb_exec::engine::{
     Engine, EngineRegistry, KvEngine, MapReduceEngine, NativeEngine, SqlEngine, StreamingEngine,
 };
+use bdb_exec::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
+use bdb_exec::journal::{CellCheckpoint, RunJournal};
+use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_testgen::{PrescriptionRepository, SystemKind};
-use bdb_verify::VerifyMode;
+use bdb_verify::{GoldenStore, VerifyMode};
 
 /// Engine threads pinned for matrix runs, keeping KV client sharding —
 /// and therefore Element-class golden digests — machine-independent.
@@ -35,6 +50,12 @@ pub struct MatrixCell {
     pub passed: bool,
     /// Failure details, when any check diverged.
     pub failures: Vec<String>,
+    /// Canonical digest of the cell's output payload, 16 hex digits
+    /// (`"-"` when the engine attached no payload).
+    pub digest: String,
+    /// True when the cell was taken from a run journal instead of
+    /// executing (the prior, crashed run completed it).
+    pub resumed: bool,
 }
 
 /// The outcome of a full matrix sweep.
@@ -44,6 +65,9 @@ pub struct MatrixReport {
     pub mode: VerifyMode,
     /// Verified cells, in prescription-major order.
     pub cells: Vec<MatrixCell>,
+    /// Recovery activity of the sweep itself: checkpoints written, cells
+    /// resumed from a journal, kill points fired.
+    pub recovery: RecoverySummary,
 }
 
 impl MatrixReport {
@@ -69,7 +93,12 @@ impl MatrixReport {
                 c.prescription.clone(),
                 c.engine.to_string(),
                 c.checks.to_string(),
-                if c.passed { "pass".into() } else { "FAIL".into() },
+                match (c.passed, c.resumed) {
+                    (true, false) => "pass".into(),
+                    (true, true) => "pass (resumed)".into(),
+                    (false, false) => "FAIL".into(),
+                    (false, true) => "FAIL (resumed)".into(),
+                },
             ]);
         }
         let mut out = t.to_text();
@@ -78,11 +107,21 @@ impl MatrixReport {
                 out.push_str(&format!("  {}@{}: {f}\n", c.prescription, c.engine));
             }
         }
+        if !self.recovery.is_quiet() || self.recovery.checkpoints_written > 0 {
+            out.push('\n');
+            out.push_str(&bdb_exec::reporter::render_resilience(&self.recovery));
+        }
         let verdict = if self.all_passed() { "CONFORMANT" } else { "DIVERGED" };
+        let resumed = self.cells.iter().filter(|c| c.resumed).count();
         out.push_str(&format!(
-            "{} cells, {} passed: {verdict}\n",
+            "{} cells, {} passed{}: {verdict}\n",
             self.cells.len(),
-            self.cells.iter().filter(|c| c.passed).count()
+            self.cells.iter().filter(|c| c.passed).count(),
+            if resumed > 0 {
+                format!(" ({resumed} resumed from journal)")
+            } else {
+                String::new()
+            }
         ));
         out
     }
@@ -99,6 +138,19 @@ fn builtin_engines() -> Vec<Box<dyn Engine>> {
     ]
 }
 
+/// Durability knobs for a matrix sweep: where to checkpoint and which
+/// kill points to arm.
+#[derive(Debug, Default)]
+pub struct MatrixDurability<'a> {
+    /// Journal completed cells here (and honour any checkpoints already
+    /// present — an existing journal resumes the sweep).
+    pub journal: Option<&'a RunJournal>,
+    /// Kill points for the sweep. Only `crash` clauses act at this level
+    /// (sampled once after every completed cell, by one injector spanning
+    /// the sweep); other kinds belong in per-cell run specs.
+    pub faults: Option<&'a FaultPlan>,
+}
+
 /// Sweep every built-in prescription across every capable built-in
 /// engine, verifying each cell under `mode`. Incapable pairs are skipped
 /// (they are not matrix cells); a capable pair that fails to execute is
@@ -113,15 +165,58 @@ pub fn verify_matrix(
     mode: VerifyMode,
     goldens_dir: Option<&str>,
 ) -> Result<MatrixReport> {
+    verify_matrix_with(scale, seed, mode, goldens_dir, &MatrixDurability::default())
+}
+
+/// [`verify_matrix`] with journaling, resumption and kill points — see
+/// the module docs for the crash/resume contract.
+///
+/// # Errors
+/// Fails as [`verify_matrix`] does, plus [`BdbError::Crashed`] when an
+/// armed kill point fires mid-sweep (completed cells stay checkpointed
+/// in the journal).
+pub fn verify_matrix_with(
+    scale: u64,
+    seed: u64,
+    mode: VerifyMode,
+    goldens_dir: Option<&str>,
+    durability: &MatrixDurability<'_>,
+) -> Result<MatrixReport> {
     let names: Vec<String> = PrescriptionRepository::with_builtins()
         .names()
         .iter()
         .map(|n| n.to_string())
         .collect();
+    // ONE injector spans the sweep: a fresh injector per cell would
+    // restart the deterministic draw sequence and a `crash@exec:1`
+    // clause would kill every cell instead of one point in the run.
+    let injector = durability
+        .faults
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultInjector::new(p.clone(), seed));
+    let golden_store = goldens_dir.map(GoldenStore::at).or_else(|| GoldenStore::discover(false));
+    let sweep_trace = RunTrace::new();
+    if let Some(journal) = durability.journal {
+        let completed = journal.completed().len();
+        if completed > 0 {
+            sweep_trace.record(TraceEvent::RunResumed {
+                journal: journal.dir().display().to_string(),
+                completed,
+            });
+        }
+    }
     let mut cells = Vec::new();
     for name in &names {
         for engine in builtin_engines() {
             let engine_name = engine.name();
+            let key = RunJournal::cell_key(name, engine_name, seed, scale);
+            // A checkpointed cell was completed by the prior (crashed)
+            // run: honour its verdicts, re-verify its digest against the
+            // golden store, and skip execution.
+            if let Some(cp) = durability.journal.and_then(|j| j.load(&key)) {
+                cells.push(resume_cell(cp, engine_name, &sweep_trace, golden_store.as_ref()));
+                continue;
+            }
             let system = engine
                 .capabilities()
                 .systems
@@ -144,18 +239,60 @@ pub fn verify_matrix(
                 spec = spec.with_goldens_dir(dir);
             }
             match bench.run(&spec) {
-                Ok(run) => cells.push(MatrixCell {
-                    prescription: name.clone(),
-                    engine: engine_name,
-                    checks: run.conformance.checks,
-                    passed: run.conformance.all_passed() && run.conformance.checks > 0,
-                    failures: run
-                        .conformance
-                        .failures
+                Ok(run) => {
+                    let digest = run
+                        .results
                         .iter()
-                        .map(|(_, _, check, detail)| format!("{check}: {detail}"))
-                        .collect(),
-                }),
+                        .find_map(|r| r.output.as_ref())
+                        .map_or_else(|| "-".to_string(), |p| format!("{:016x}", p.digest()));
+                    let cell = MatrixCell {
+                        prescription: name.clone(),
+                        engine: engine_name,
+                        checks: run.conformance.checks,
+                        passed: run.conformance.all_passed() && run.conformance.checks > 0,
+                        failures: run
+                            .conformance
+                            .failures
+                            .iter()
+                            .map(|(_, _, check, detail)| format!("{check}: {detail}"))
+                            .collect(),
+                        digest,
+                        resumed: false,
+                    };
+                    if let Some(journal) = durability.journal {
+                        journal.record(&checkpoint_of(&cell, &run, &key, seed, scale))?;
+                        sweep_trace.record(TraceEvent::CheckpointWritten {
+                            key: key.clone(),
+                            digest: cell.digest.clone(),
+                        });
+                    }
+                    cells.push(cell);
+                    // The kill point sits between cells: the checkpoint
+                    // for the finished cell is durable, the next cell
+                    // never starts — exactly a process death mid-sweep.
+                    if let Some(fired) = injector
+                        .as_ref()
+                        .and_then(|inj| inj.sample(&FaultSite::execution(engine_name, name)))
+                    {
+                        if fired.kind == FaultKind::Crash {
+                            sweep_trace.record(TraceEvent::FaultInjected {
+                                site: format!("exec/{engine_name}:{name}"),
+                                kind: "crash".into(),
+                                latency_ms: 0,
+                            });
+                            return Err(BdbError::Crashed(format!(
+                                "injected kill point mid-matrix after {name}@{engine_name} \
+                                 ({} cells completed{})",
+                                cells.len(),
+                                if durability.journal.is_some() {
+                                    ", checkpointed for --resume"
+                                } else {
+                                    ""
+                                }
+                            )));
+                        }
+                    }
+                }
                 // The single-engine registry routes nothing it cannot
                 // support: that pair is outside the matrix, not a failure.
                 Err(BdbError::Execution(msg)) if msg.contains("no engine can execute") => {}
@@ -163,7 +300,69 @@ pub fn verify_matrix(
             }
         }
     }
-    Ok(MatrixReport { mode, cells })
+    let recovery = RecoverySummary::from_events(&sweep_trace.events());
+    Ok(MatrixReport { mode, cells, recovery })
+}
+
+/// Turn a journal checkpoint back into a matrix cell, re-verifying its
+/// recorded digest against the golden store when one is available.
+fn resume_cell(
+    cp: CellCheckpoint,
+    engine_name: &'static str,
+    trace: &RunTrace,
+    store: Option<&GoldenStore>,
+) -> MatrixCell {
+    let mut failures = cp.failures.clone();
+    let mut passed = cp.passed;
+    let golden = store.and_then(|s| s.load(&cp.key));
+    if let Some(golden) = &golden {
+        if golden.digest != cp.digest && cp.digest != "-" {
+            passed = false;
+            failures.push(format!(
+                "resume: journal digest {} != golden digest {}",
+                cp.digest, golden.digest
+            ));
+        }
+    }
+    trace.record(TraceEvent::CellResumed {
+        key: cp.key.clone(),
+        digest: cp.digest.clone(),
+        reverified: golden.is_some(),
+    });
+    MatrixCell {
+        prescription: cp.prescription,
+        engine: engine_name,
+        checks: u64::from(cp.checks),
+        passed,
+        failures,
+        digest: cp.digest,
+        resumed: true,
+    }
+}
+
+/// The checkpoint a completed cell writes: the cell's verdicts plus the
+/// payload coordinates (shape, length, digest) of its first output.
+fn checkpoint_of(
+    cell: &MatrixCell,
+    run: &crate::pipeline::BenchmarkRun,
+    key: &str,
+    seed: u64,
+    scale: u64,
+) -> CellCheckpoint {
+    let payload = run.results.iter().find_map(|r| r.output.as_ref());
+    CellCheckpoint {
+        key: key.to_string(),
+        prescription: cell.prescription.clone(),
+        engine: cell.engine.to_string(),
+        seed,
+        scale,
+        shape: payload.map_or_else(|| "none".to_string(), |p| p.label().to_string()),
+        len: payload.map_or(0, |p| p.len() as u64),
+        digest: cell.digest.clone(),
+        checks: cell.checks.min(u64::from(u32::MAX)) as u32,
+        passed: cell.passed,
+        failures: cell.failures.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -178,7 +377,79 @@ mod tests {
 
     #[test]
     fn empty_report_does_not_pass() {
-        let r = MatrixReport { mode: VerifyMode::Digest, cells: Vec::new() };
+        let r = MatrixReport {
+            mode: VerifyMode::Digest,
+            cells: Vec::new(),
+            recovery: RecoverySummary::default(),
+        };
         assert!(!r.all_passed());
+    }
+
+    #[test]
+    fn resumed_cells_render_as_resumed() {
+        let cell = |resumed: bool| MatrixCell {
+            prescription: "micro/sort".into(),
+            engine: "sql",
+            checks: 2,
+            passed: true,
+            failures: Vec::new(),
+            digest: "00000000deadbeef".into(),
+            resumed,
+        };
+        let r = MatrixReport {
+            mode: VerifyMode::Digest,
+            cells: vec![cell(false), cell(true)],
+            recovery: RecoverySummary::default(),
+        };
+        let text = r.render();
+        assert!(text.contains("pass (resumed)"), "{text}");
+        assert!(text.contains("(1 resumed from journal)"), "{text}");
+        assert!(r.all_passed());
+    }
+
+    #[test]
+    fn resume_cell_flags_digest_drift_against_goldens() {
+        use bdb_verify::golden::GoldenRecord;
+        let dir = std::env::temp_dir()
+            .join(format!("bdb-matrix-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = GoldenStore::at(&dir);
+        let key = RunJournal::cell_key("micro/sort", "sql", 1, 10);
+        store
+            .store(
+                &key,
+                &GoldenRecord {
+                    prescription: "micro/sort".into(),
+                    engine: "sql".into(),
+                    seed: 1,
+                    scale: 10,
+                    shape: "ordered".into(),
+                    len: 10,
+                    digest: "00000000000000aa".into(),
+                },
+            )
+            .unwrap();
+        let cp = |digest: &str| CellCheckpoint {
+            key: key.clone(),
+            prescription: "micro/sort".into(),
+            engine: "sql".into(),
+            seed: 1,
+            scale: 10,
+            shape: "ordered".into(),
+            len: 10,
+            digest: digest.into(),
+            checks: 2,
+            passed: true,
+            failures: Vec::new(),
+        };
+        let trace = RunTrace::new();
+        let good = resume_cell(cp("00000000000000aa"), "sql", &trace, Some(&store));
+        assert!(good.passed && good.resumed);
+        let drifted = resume_cell(cp("00000000000000bb"), "sql", &trace, Some(&store));
+        assert!(!drifted.passed, "journal/golden digest drift must fail the cell");
+        assert!(drifted.failures.iter().any(|f| f.contains("resume:")), "{:?}", drifted.failures);
+        let events = trace.events();
+        assert_eq!(events.iter().filter(|e| e.label() == "cell_resumed").count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -84,7 +84,7 @@ pub fn geomean_speedup(pairs: &[(f64, f64)]) -> f64 {
 /// absorbed and what it cost.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RecoverySummary {
-    /// Injected faults by kind ("error", "latency", "panic").
+    /// Injected faults by kind ("error", "latency", "panic", "crash").
     pub faults_by_kind: BTreeMap<String, u64>,
     /// Retries performed.
     pub retries: u64,
@@ -100,6 +100,12 @@ pub struct RecoverySummary {
     /// Resilient operations the run executed (generated data sets plus
     /// engine dispatches) — the denominator for [`degraded_pct`](Self::degraded_pct).
     pub total_ops: u64,
+    /// Run-journal checkpoints the run wrote (healthy bookkeeping, not
+    /// recovery by itself).
+    pub checkpoints_written: u64,
+    /// Cells skipped on `--resume` because a prior (crashed) run already
+    /// completed them.
+    pub cells_resumed: u64,
 }
 
 impl RecoverySummary {
@@ -128,6 +134,8 @@ impl RecoverySummary {
                     s.deadline_hits += 1;
                     s.attempts_per_site.entry(site.clone()).or_insert(1);
                 }
+                TraceEvent::CheckpointWritten { .. } => s.checkpoints_written += 1,
+                TraceEvent::CellResumed { .. } => s.cells_resumed += 1,
                 _ => {}
             }
         }
@@ -139,12 +147,15 @@ impl RecoverySummary {
         self.faults_by_kind.values().sum()
     }
 
-    /// True when the run saw no recovery activity at all.
+    /// True when the run saw no recovery activity at all. Checkpoint
+    /// writes alone keep a run quiet (journaling is routine); resumed
+    /// cells do not (the run recovered from a crash).
     pub fn is_quiet(&self) -> bool {
         self.faults_injected() == 0
             && self.retries == 0
             && self.failovers == 0
             && self.deadline_hits == 0
+            && self.cells_resumed == 0
     }
 
     /// Fraction of resilient operations that were degraded (needed a
@@ -327,6 +338,28 @@ mod tests {
         assert_eq!(s.attempts_per_site.get("datagen/events"), Some(&1));
         assert!((s.degraded_pct() - 1.0).abs() < 1e-9);
         assert!(!s.is_quiet());
+    }
+
+    #[test]
+    fn recovery_summary_counts_checkpoints_and_resumes() {
+        let checkpointed = RecoverySummary::from_events(&[
+            TraceEvent::CheckpointWritten { key: "a__e__s1__n1".into(), digest: "0x1".into() },
+            TraceEvent::CheckpointWritten { key: "b__e__s1__n1".into(), digest: "0x2".into() },
+        ]);
+        assert_eq!(checkpointed.checkpoints_written, 2);
+        assert_eq!(checkpointed.cells_resumed, 0);
+        assert!(checkpointed.is_quiet(), "journaling alone is not recovery");
+
+        let resumed = RecoverySummary::from_events(&[
+            TraceEvent::RunResumed { journal: "/tmp/run".into(), completed: 1 },
+            TraceEvent::CellResumed {
+                key: "a__e__s1__n1".into(),
+                digest: "0x1".into(),
+                reverified: true,
+            },
+        ]);
+        assert_eq!(resumed.cells_resumed, 1);
+        assert!(!resumed.is_quiet(), "a resumed run recovered from a crash");
     }
 
     #[test]

@@ -454,9 +454,14 @@ impl EngineRegistry {
                 }
                 Err(failure) => {
                     total_attempts += failure.attempts;
-                    let deadline_hit = failure.deadline_hit;
+                    // A crash is the process dying, not this engine
+                    // misbehaving — failing over would "survive" a death
+                    // the chaos run is trying to prove we handle by
+                    // resuming. Deadline exhaustion likewise ends the
+                    // whole dispatch, not just this candidate.
+                    let terminal = failure.deadline_hit || failure.crashed;
                     last_error = Some(failure.error);
-                    if deadline_hit {
+                    if terminal {
                         break;
                     }
                 }

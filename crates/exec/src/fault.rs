@@ -39,8 +39,10 @@
 //!
 //! * `kind` — `error` (the operation fails with an injected engine
 //!   error), `latency` (a spike of `ms` milliseconds is added before the
-//!   operation runs), or `panic` (a pool worker thread panics; the
-//!   hardened pool catches it and surfaces a structured error).
+//!   operation runs), `panic` (a pool worker thread panics; the hardened
+//!   pool catches it and surfaces a structured error), or `crash` (the
+//!   process "dies" at a kill point: the run aborts immediately — no
+//!   retry, no failover — leaving durable state for `--resume`).
 //! * `phase` — `datagen`, `exec`, or `any`.
 //! * `rate` — probability in `[0, 1]` that the clause fires on a given
 //!   draw (`1` = always, until `max` is reached).
@@ -57,6 +59,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Every fault kind the grammar accepts, for error messages.
+pub const FAULT_KINDS: &str = "error|latency|panic|crash";
+/// Every fault phase the grammar accepts, for error messages.
+pub const FAULT_PHASES: &str = "datagen|exec|any";
+
 /// What an injected fault does to the operation it hits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -66,6 +73,11 @@ pub enum FaultKind {
     Latency,
     /// A worker thread panics mid-operation.
     Panic,
+    /// The process "dies" at the operation: a terminal
+    /// [`BdbError::Crashed`] that recovery must not retry or fail over —
+    /// the run aborts with durable state (run journal, KV WAL) exactly
+    /// as written, and resuming is a fresh process's job.
+    Crash,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -74,6 +86,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::Error => "error",
             FaultKind::Latency => "latency",
             FaultKind::Panic => "panic",
+            FaultKind::Crash => "crash",
         })
     }
 }
@@ -86,8 +99,9 @@ impl std::str::FromStr for FaultKind {
             "error" => Ok(FaultKind::Error),
             "latency" => Ok(FaultKind::Latency),
             "panic" => Ok(FaultKind::Panic),
+            "crash" => Ok(FaultKind::Crash),
             other => Err(BdbError::InvalidConfig(format!(
-                "unknown fault kind {other} (expected error|latency|panic)"
+                "unknown fault kind {other:?} (valid kinds: {FAULT_KINDS})"
             ))),
         }
     }
@@ -130,7 +144,7 @@ impl std::str::FromStr for FaultPhase {
             "exec" => Ok(FaultPhase::Execution),
             "any" => Ok(FaultPhase::Any),
             other => Err(BdbError::InvalidConfig(format!(
-                "unknown fault phase {other} (expected datagen|exec|any)"
+                "unknown fault phase {other:?} (valid phases: {FAULT_PHASES})"
             ))),
         }
     }
@@ -157,12 +171,16 @@ impl FaultClause {
             Some((h, r)) => (h, r),
             None => {
                 return Err(BdbError::InvalidConfig(format!(
-                    "fault clause {text:?} needs a rate (kind@phase:rate)"
+                    "fault clause {text:?} needs a rate \
+                     (grammar: kind@phase:rate[:ms=N][:max=N])"
                 )))
             }
         };
         let (kind_s, phase_s) = head.split_once('@').ok_or_else(|| {
-            BdbError::InvalidConfig(format!("fault clause {text:?} needs kind@phase"))
+            BdbError::InvalidConfig(format!(
+                "fault clause {text:?} needs kind@phase \
+                 (valid kinds: {FAULT_KINDS}; valid phases: {FAULT_PHASES})"
+            ))
         })?;
         let kind: FaultKind = kind_s.parse()?;
         let phase: FaultPhase = phase_s.parse()?;
@@ -238,16 +256,29 @@ impl std::str::FromStr for FaultPlan {
     type Err = BdbError;
 
     fn from_str(s: &str) -> Result<Self> {
+        // Parse errors name the offending comma-separated segment (by
+        // 1-based position and text) so a typo inside a long plan is
+        // findable, and every path enumerates the valid vocabulary.
         let clauses = s
             .split(',')
             .map(str::trim)
-            .filter(|c| !c.is_empty())
-            .map(FaultClause::parse)
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(i, c)| {
+                FaultClause::parse(c).map_err(|e| {
+                    BdbError::InvalidConfig(format!(
+                        "fault plan segment {} ({c:?}): {e}",
+                        i + 1
+                    ))
+                })
+            })
             .collect::<Result<Vec<_>>>()?;
         if clauses.is_empty() {
-            return Err(BdbError::InvalidConfig(
-                "fault plan has no clauses".into(),
-            ));
+            return Err(BdbError::InvalidConfig(format!(
+                "fault plan {s:?} has no clauses \
+                 (grammar: kind@phase:rate[:ms=N][:max=N], comma-separated; \
+                 valid kinds: {FAULT_KINDS}; valid phases: {FAULT_PHASES})"
+            )));
         }
         Ok(Self { clauses })
     }
@@ -466,6 +497,10 @@ pub struct RecoveryFailure {
     /// True when the per-operation deadline, not the retry budget, ended
     /// the operation (callers should stop failing over).
     pub deadline_hit: bool,
+    /// True when the operation crashed (an injected `crash@` fault or a
+    /// [`BdbError::Crashed`] kill point below the engine): terminal —
+    /// no retry was attempted and callers must not fail over.
+    pub crashed: bool,
 }
 
 /// Run `f` under the resilience configuration: inject faults before each
@@ -497,6 +532,7 @@ pub fn run_with_recovery<T>(
                     )),
                     attempts: attempt - 1,
                     deadline_hit: true,
+                    crashed: false,
                 });
             }
         }
@@ -514,6 +550,9 @@ pub fn run_with_recovery<T>(
                         "injected engine fault at {site} (attempt {attempt})"
                     ))),
                     FaultKind::Panic => Err(injected_worker_panic(site)),
+                    FaultKind::Crash => Err(BdbError::Crashed(format!(
+                        "injected kill point at {site} (attempt {attempt})"
+                    ))),
                     FaultKind::Latency => {
                         std::thread::sleep(Duration::from_millis(fault.latency_ms));
                         run_guarded(f)
@@ -525,8 +564,25 @@ pub fn run_with_recovery<T>(
         match outcome {
             Ok(value) => return Ok(Recovered { value, attempts: attempt, faults }),
             Err(error) => {
+                // A crash is not a transient fault: the process (or the
+                // simulated one) is gone, so retrying in place would run
+                // against dead state. Surface it immediately; recovery is
+                // a fresh open + `--resume`, not another attempt.
+                if error.is_crash() {
+                    return Err(RecoveryFailure {
+                        error,
+                        attempts: attempt,
+                        deadline_hit: false,
+                        crashed: true,
+                    });
+                }
                 if attempt >= res.policy.attempts() {
-                    return Err(RecoveryFailure { error, attempts: attempt, deadline_hit: false });
+                    return Err(RecoveryFailure {
+                        error,
+                        attempts: attempt,
+                        deadline_hit: false,
+                        crashed: false,
+                    });
                 }
                 let delay = res.policy.delay(res.seed, attempt);
                 trace.record(TraceEvent::OperationRetried {
@@ -590,6 +646,26 @@ mod tests {
         assert_eq!(plan.clauses[2].max, Some(1));
         let round: FaultPlan = plan.to_string().parse().unwrap();
         assert_eq!(plan, round);
+    }
+
+    #[test]
+    fn crash_clause_parses_and_round_trips() {
+        let plan: FaultPlan = "crash@exec:1:max=1".parse().unwrap();
+        assert_eq!(plan.clauses[0].kind, FaultKind::Crash);
+        let round: FaultPlan = plan.to_string().parse().unwrap();
+        assert_eq!(plan, round);
+    }
+
+    #[test]
+    fn parse_errors_name_the_segment_and_vocabulary() {
+        let err = "error@exec:1,warp@exec:0.5".parse::<FaultPlan>().unwrap_err().to_string();
+        assert!(err.contains("segment 2"), "{err}");
+        assert!(err.contains("\"warp@exec:0.5\""), "{err}");
+        assert!(err.contains(FAULT_KINDS), "{err}");
+        let err = "error@boot:0.5".parse::<FaultPlan>().unwrap_err().to_string();
+        assert!(err.contains(FAULT_PHASES), "{err}");
+        let err = "".parse::<FaultPlan>().unwrap_err().to_string();
+        assert!(err.contains(FAULT_KINDS) && err.contains(FAULT_PHASES), "{err}");
     }
 
     #[test]
@@ -706,6 +782,46 @@ mod tests {
         assert!(fail.deadline_hit);
         assert_eq!(fail.attempts, 0);
         assert!(trace.events().iter().any(|e| e.label() == "deadline_exceeded"));
+    }
+
+    #[test]
+    fn injected_crash_is_terminal_despite_retry_budget() {
+        let plan: FaultPlan = "crash@exec:1".parse().unwrap();
+        let res = Resilience::new(
+            Some(plan),
+            RetryPolicy { max_retries: 5, base_delay_ms: 1, ..RetryPolicy::default() },
+            9,
+        );
+        let trace = RunTrace::new();
+        let mut calls = 0;
+        let fail = run_with_recovery::<u32>(&res, &trace, &site(), Instant::now(), &mut || {
+            calls += 1;
+            Ok(1)
+        })
+        .unwrap_err();
+        assert!(fail.crashed);
+        assert!(fail.error.is_crash());
+        assert_eq!(fail.attempts, 1, "a crash must not be retried");
+        assert_eq!(calls, 0, "the crash pre-empts the operation");
+        let labels: Vec<&str> = trace.events().iter().map(|e| e.label()).collect();
+        assert_eq!(labels, vec!["fault_injected"], "no retry events after a crash");
+    }
+
+    #[test]
+    fn crash_errors_from_the_operation_are_terminal_too() {
+        let res = Resilience {
+            policy: RetryPolicy { max_retries: 5, base_delay_ms: 1, ..RetryPolicy::default() },
+            injector: None,
+            seed: 0,
+        };
+        let trace = RunTrace::new();
+        let fail = run_with_recovery::<u32>(&res, &trace, &site(), Instant::now(), &mut || {
+            Err(BdbError::Crashed("kill point mid-WAL-append".into()))
+        })
+        .unwrap_err();
+        assert!(fail.crashed);
+        assert_eq!(fail.attempts, 1);
+        assert!(trace.is_empty(), "no retry events for a real kill point");
     }
 
     #[test]

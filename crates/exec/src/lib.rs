@@ -17,6 +17,8 @@
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]),
 //!   retry with jittered backoff ([`fault::RetryPolicy`]) and the
 //!   recovery loop resilient dispatch is built from.
+//! * [`journal`] — the run journal: atomic per-cell checkpoints that let
+//!   a killed run `--resume` without re-executing completed cells.
 //! * [`engine`] — the pluggable engine abstraction: an [`engine::Engine`]
 //!   trait with declared [`engine::Capabilities`], five builtin engine
 //!   implementations (native, sql, kv, streaming, mapreduce) and a
@@ -28,6 +30,7 @@ pub mod config;
 pub mod convert;
 pub mod engine;
 pub mod fault;
+pub mod journal;
 pub mod reporter;
 pub mod trace;
 
@@ -39,5 +42,6 @@ pub use engine::{
     WorkloadClass,
 };
 pub use fault::{FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultSite, Resilience, RetryPolicy};
+pub use journal::{CellCheckpoint, RunJournal};
 pub use reporter::TableReporter;
 pub use trace::{RunTrace, TraceEvent};

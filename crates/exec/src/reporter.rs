@@ -152,6 +152,20 @@ pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
                 site.clone(),
                 format!("{elapsed_ms} ms elapsed > {deadline_ms} ms deadline"),
             ),
+            TraceEvent::CheckpointWritten { key, digest } => {
+                (key.clone(), format!("digest {digest}"))
+            }
+            TraceEvent::CellResumed { key, digest, reverified } => (
+                key.clone(),
+                format!(
+                    "digest {digest} from journal{}",
+                    if *reverified { " (re-verified vs golden)" } else { "" }
+                ),
+            ),
+            TraceEvent::RunResumed { journal, completed } => (
+                journal.clone(),
+                format!("{completed} completed cells honoured"),
+            ),
             TraceEvent::ConformanceChecked { prescription, engine, check, payload, passed, detail } => (
                 format!("{prescription}@{engine}"),
                 format!(
@@ -181,6 +195,10 @@ pub fn render_resilience(summary: &crate::analyzer::RecoverySummary) -> String {
     t.add_row(&["retries".into(), summary.retries.to_string()]);
     t.add_row(&["failovers".into(), summary.failovers.to_string()]);
     t.add_row(&["deadline hits".into(), summary.deadline_hits.to_string()]);
+    if summary.checkpoints_written > 0 || summary.cells_resumed > 0 {
+        t.add_row(&["checkpoints written".into(), summary.checkpoints_written.to_string()]);
+        t.add_row(&["cells resumed".into(), summary.cells_resumed.to_string()]);
+    }
     t.add_row(&["added latency (ms)".into(), summary.added_latency_ms.to_string()]);
     t.add_row(&[
         "degraded ops".into(),

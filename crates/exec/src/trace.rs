@@ -76,7 +76,7 @@ pub enum TraceEvent {
     FaultInjected {
         /// The operation site (`phase/target`).
         site: String,
-        /// Fault kind ("error", "latency", "panic").
+        /// Fault kind ("error", "latency", "panic", "crash").
         kind: String,
         /// Spike length for latency faults (0 otherwise).
         latency_ms: u64,
@@ -113,6 +113,33 @@ pub enum TraceEvent {
         /// The configured deadline, milliseconds.
         deadline_ms: u64,
     },
+    /// A run journal recorded one completed matrix cell / workload, so a
+    /// crashed run can skip it on `--resume`.
+    CheckpointWritten {
+        /// The checkpoint key (golden-store format:
+        /// `prescription__engine__s<seed>__n<scale>`).
+        key: String,
+        /// The checkpointed output digest.
+        digest: String,
+    },
+    /// A resumed run skipped a cell already completed by the crashed run,
+    /// taking its result from the journal.
+    CellResumed {
+        /// The checkpoint key.
+        key: String,
+        /// The digest recorded by the crashed run.
+        digest: String,
+        /// Whether the recorded digest was re-verified against the
+        /// golden store on resume.
+        reverified: bool,
+    },
+    /// A run resumed from a journal directory instead of starting cold.
+    RunResumed {
+        /// The journal directory.
+        journal: String,
+        /// Checkpoints found and honoured.
+        completed: usize,
+    },
     /// A conformance check compared an engine's result against the
     /// reference oracle or a stored golden digest.
     ConformanceChecked {
@@ -145,12 +172,17 @@ impl TraceEvent {
             TraceEvent::OperationRetried { .. } => "operation_retried",
             TraceEvent::EngineFailedOver { .. } => "engine_failed_over",
             TraceEvent::DeadlineExceeded { .. } => "deadline_exceeded",
+            TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
+            TraceEvent::CellResumed { .. } => "cell_resumed",
+            TraceEvent::RunResumed { .. } => "run_resumed",
             TraceEvent::ConformanceChecked { .. } => "conformance_checked",
         }
     }
 
-    /// True for the recovery-path events (fault, retry, failover,
-    /// deadline) the resilient dispatcher emits.
+    /// True for the recovery-path events: what the resilient dispatcher
+    /// emits (fault, retry, failover, deadline) plus what a resumed run
+    /// emits (run/cell resumption). Checkpoint writes are *not* recovery —
+    /// every journaled run writes them, crashed or not.
     pub fn is_recovery(&self) -> bool {
         matches!(
             self,
@@ -158,6 +190,8 @@ impl TraceEvent {
                 | TraceEvent::OperationRetried { .. }
                 | TraceEvent::EngineFailedOver { .. }
                 | TraceEvent::DeadlineExceeded { .. }
+                | TraceEvent::CellResumed { .. }
+                | TraceEvent::RunResumed { .. }
         )
     }
 }
@@ -305,6 +339,37 @@ mod tests {
         assert_eq!(events[1].label(), "operation_retried");
         assert_eq!(events[2].label(), "engine_failed_over");
         assert_eq!(events[3].label(), "deadline_exceeded");
+    }
+
+    #[test]
+    fn resume_events_serialize_and_classify() {
+        let checkpoint = TraceEvent::CheckpointWritten {
+            key: "micro-sort__sql__s42__n300".into(),
+            digest: "0xabc".into(),
+        };
+        assert_eq!(checkpoint.label(), "checkpoint_written");
+        assert!(
+            !checkpoint.is_recovery(),
+            "checkpointing happens on healthy runs too"
+        );
+        let resumed = vec![
+            TraceEvent::CellResumed {
+                key: "micro-sort__sql__s42__n300".into(),
+                digest: "0xabc".into(),
+                reverified: true,
+            },
+            TraceEvent::RunResumed { journal: "/tmp/run".into(), completed: 3 },
+        ];
+        assert_eq!(resumed[0].label(), "cell_resumed");
+        assert_eq!(resumed[1].label(), "run_resumed");
+        for e in resumed.iter().chain([&checkpoint]) {
+            let json = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(*e, back);
+        }
+        for e in &resumed {
+            assert!(e.is_recovery(), "{}", e.label());
+        }
     }
 
     #[test]

@@ -24,7 +24,11 @@
 pub mod bloom;
 pub mod linkstore;
 pub mod lsm;
+pub mod manifest;
+pub mod wal;
 
 pub use bloom::BloomFilter;
 pub use linkstore::{Link, LinkStore};
-pub use lsm::{KvStats, LsmConfig, LsmStore, SharedLsm};
+pub use lsm::{CrashPoint, KvStats, LsmConfig, LsmStore, SharedLsm};
+pub use manifest::Manifest;
+pub use wal::{Wal, WalRecord, WalReplay};

@@ -7,11 +7,28 @@
 //! reclaimed. This is the genuine read/write path a YCSB-style workload
 //! exercises — memtable hits are cheap, cold point reads pay one binary
 //! search per run, scans pay a k-way merge.
+//!
+//! # Durability
+//!
+//! A store opened with [`LsmStore::open`] is backed by a directory:
+//! every mutation is appended to a checksummed write-ahead log before it
+//! touches the memtable, memtable flushes seal the frozen run into an
+//! immutable SSTable epoch and rotate the WAL, and a `MANIFEST.json`
+//! (always updated by atomic rename) names the live WAL segment and the
+//! sealed epochs. Reopening the directory replays the manifest, the
+//! sealed runs and the WAL — truncating any torn tail a mid-append crash
+//! left behind — and deterministically rebuilds the pre-crash contents.
+//! [`LsmStore::arm_crash`] plants one-shot [`CrashPoint`] kill switches
+//! at the seeded instants the crash-recovery chaos suite exercises.
 
 use crate::bloom::BloomFilter;
+use crate::manifest::{self, Manifest};
+use crate::wal::{Wal, WalRecord};
+use bdb_common::{BdbError, Result};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Raw byte key.
@@ -56,6 +73,12 @@ pub struct KvStats {
     pub flushes: u64,
     /// Compactions run.
     pub compactions: u64,
+    /// Records appended to the write-ahead log (durable stores only).
+    pub wal_appends: u64,
+    /// Records replayed from the WAL when the store was opened.
+    pub wal_replayed: u64,
+    /// Torn WAL tails truncated during recovery.
+    pub torn_recoveries: u64,
 }
 
 impl KvStats {
@@ -105,6 +128,63 @@ impl Run {
     }
 }
 
+/// One-shot kill switches: the seeded instants at which a durable store
+/// can be made to "die" mid-operation, leaving its directory exactly as
+/// a process kill at that point would. Each fires once, returns
+/// [`BdbError::Crashed`], and the store object must then be dropped —
+/// recovery is [`LsmStore::open`] on the same directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Mid-WAL-append: a partial record frame reaches the log (a torn
+    /// tail) and the mutation is lost.
+    WalAppend,
+    /// At flush entry, before anything is sealed: the memtable is lost,
+    /// the WAL holds every record.
+    PreFlush,
+    /// After the SSTable is sealed but before the manifest names it: the
+    /// epoch file is an orphan, the WAL still holds every record.
+    PreManifest,
+    /// After the manifest update but before the old WAL segment is
+    /// removed: the sealed epoch is live, the stale WAL is a leftover.
+    PreWalRotate,
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CrashPoint::WalAppend => "wal-append",
+            CrashPoint::PreFlush => "pre-flush",
+            CrashPoint::PreManifest => "pre-manifest",
+            CrashPoint::PreWalRotate => "pre-wal-rotate",
+        })
+    }
+}
+
+/// On-disk state of a durable store.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    manifest: Manifest,
+    wal: Wal,
+    /// Epoch of each in-memory run, parallel to `LsmStore::runs`.
+    run_epochs: Vec<u64>,
+    armed: Option<CrashPoint>,
+}
+
+impl Durability {
+    /// Consume the kill switch if it is armed at `point`.
+    fn trip(&mut self, point: CrashPoint) -> Result<()> {
+        if self.armed == Some(point) {
+            self.armed = None;
+            return Err(BdbError::Crashed(format!(
+                "kill point {point} in {}",
+                self.dir.display()
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// The store: one memtable plus a stack of immutable runs.
 #[derive(Debug, Default)]
 pub struct LsmStore {
@@ -114,6 +194,8 @@ pub struct LsmStore {
     /// Newest run last.
     runs: Vec<Run>,
     stats: KvStats,
+    /// WAL + manifest, present only for stores opened on a directory.
+    durability: Option<Durability>,
 }
 
 impl LsmStore {
@@ -122,19 +204,134 @@ impl LsmStore {
         Self { config, ..Self::default() }
     }
 
+    /// Open (or create) a durable store rooted at `dir`, recovering any
+    /// state a previous incarnation — cleanly closed or killed at any
+    /// instant — left behind: the manifest's sealed SSTable epochs are
+    /// loaded as immutable runs, orphan SSTables and stale WAL segments
+    /// from interrupted flushes are removed, and the live WAL replays
+    /// into the memtable with any torn tail truncated off.
+    ///
+    /// # Errors
+    /// Fails on filesystem errors or a corrupt manifest/SSTable.
+    pub fn open(dir: impl Into<PathBuf>, config: LsmConfig) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| BdbError::Io(format!("create {}: {e}", dir.display())))?;
+        let manifest = Manifest::load(&dir)?;
+        let mut store = Self::with_config(config);
+        // Sealed runs, oldest epoch first (manifest order).
+        for &epoch in &manifest.sstables {
+            let entries = manifest::read_sst(&dir, epoch)?;
+            store
+                .runs
+                .push(Run::build(entries, config.bloom_bits_per_key));
+        }
+        remove_unreferenced(&dir, &manifest);
+        // Replay the live WAL into the memtable, truncating torn tails.
+        let wal_path = manifest::wal_path(&dir, manifest.wal_epoch);
+        let replay = Wal::replay(&wal_path)?;
+        store.stats.wal_replayed = replay.records.len() as u64;
+        store.stats.torn_recoveries = u64::from(replay.was_torn());
+        for record in replay.records {
+            match record {
+                WalRecord::Put(k, v) => store.apply(k, Some(v)),
+                WalRecord::Delete(k) => store.apply(k, None),
+            }
+        }
+        let run_epochs = manifest.sstables.clone();
+        store.durability = Some(Durability {
+            wal: Wal::open(&wal_path)?,
+            dir,
+            manifest,
+            run_epochs,
+            armed: None,
+        });
+        Ok(store)
+    }
+
+    /// True for stores opened on a directory.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable store's directory, when there is one.
+    pub fn dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Arm a one-shot kill switch (no-op on in-memory stores): the next
+    /// time execution reaches `point`, the operation fails with
+    /// [`BdbError::Crashed`] leaving the directory exactly as a process
+    /// kill at that instant would.
+    pub fn arm_crash(&mut self, point: CrashPoint) {
+        if let Some(d) = &mut self.durability {
+            d.armed = Some(point);
+        }
+    }
+
     /// Insert or overwrite a key.
+    ///
+    /// # Panics
+    /// On durable stores, panics if the WAL append or a triggered
+    /// flush/compaction fails — fallible callers (and anything arming
+    /// crash points) should use [`Self::try_put`].
     pub fn put(&mut self, key: Key, value: Val) {
+        self.try_put(key, value).expect("durable write failed");
+    }
+
+    /// Insert or overwrite a key, surfacing durability errors.
+    ///
+    /// # Errors
+    /// Fails on WAL/SSTable I/O errors or an armed [`CrashPoint`].
+    pub fn try_put(&mut self, key: Key, value: Val) -> Result<()> {
         self.stats.writes += 1;
-        self.write(key, Some(value));
+        self.write(key, Some(value))
     }
 
     /// Delete a key (writes a tombstone).
+    ///
+    /// # Panics
+    /// As [`Self::put`]; fallible callers should use [`Self::try_delete`].
     pub fn delete(&mut self, key: Key) {
-        self.stats.writes += 1;
-        self.write(key, None);
+        self.try_delete(key).expect("durable delete failed");
     }
 
-    fn write(&mut self, key: Key, value: Option<Val>) {
+    /// Delete a key, surfacing durability errors.
+    ///
+    /// # Errors
+    /// Fails on WAL/SSTable I/O errors or an armed [`CrashPoint`].
+    pub fn try_delete(&mut self, key: Key) -> Result<()> {
+        self.stats.writes += 1;
+        self.write(key, None)
+    }
+
+    fn write(&mut self, key: Key, value: Option<Val>) -> Result<()> {
+        if let Some(d) = &mut self.durability {
+            let record = match &value {
+                Some(v) => WalRecord::Put(key.clone(), v.clone()),
+                None => WalRecord::Delete(key.clone()),
+            };
+            // A WalAppend kill point writes a torn half-frame and dies:
+            // the mutation never reaches the memtable.
+            let torn = if d.armed == Some(CrashPoint::WalAppend) {
+                d.armed = None;
+                Some(record.encode().len() / 2)
+            } else {
+                None
+            };
+            d.wal.append(&record, torn)?;
+            self.stats.wal_appends += 1;
+        }
+        self.apply(key, value);
+        if self.memtable_bytes >= self.config.memtable_capacity_bytes {
+            self.try_flush()?;
+        }
+        Ok(())
+    }
+
+    /// Apply one mutation to the memtable (no durability, no flush) —
+    /// the shared tail of the write path and WAL replay.
+    fn apply(&mut self, key: Key, value: Option<Val>) {
         let added = key.len() + value.as_ref().map_or(1, Val::len);
         if let Some(old) = self.memtable.insert(key, value) {
             self.memtable_bytes = self
@@ -142,32 +339,80 @@ impl LsmStore {
                 .saturating_sub(old.map_or(1, |v| v.len()));
         }
         self.memtable_bytes += added;
-        if self.memtable_bytes >= self.config.memtable_capacity_bytes {
-            self.flush();
-        }
     }
 
     /// Freeze the memtable into a run.
+    ///
+    /// # Panics
+    /// On durable stores, panics if sealing fails — use
+    /// [`Self::try_flush`] there.
     pub fn flush(&mut self) {
+        self.try_flush().expect("durable flush failed");
+    }
+
+    /// Freeze the memtable into a run; on durable stores, seal it as an
+    /// SSTable epoch, update the manifest atomically, and rotate the WAL.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an armed [`CrashPoint`].
+    pub fn try_flush(&mut self) -> Result<()> {
         if self.memtable.is_empty() {
-            return;
+            return Ok(());
+        }
+        if let Some(d) = &mut self.durability {
+            d.trip(CrashPoint::PreFlush)?;
         }
         let entries: Vec<(Key, Option<Val>)> = std::mem::take(&mut self.memtable)
             .into_iter()
             .collect();
         self.memtable_bytes = 0;
+        if let Some(d) = &mut self.durability {
+            // Seal the run, then publish it: sstable first (temp+rename),
+            // manifest second (atomic), WAL rotation last. A crash
+            // between any two steps recovers: an unpublished sstable is
+            // an orphan (the WAL still has its records); a published one
+            // makes the stale WAL segment a removable leftover.
+            let epoch = d.manifest.next_epoch();
+            manifest::write_sst(&d.dir, epoch, &entries)?;
+            d.trip(CrashPoint::PreManifest)?;
+            let old_wal = d.manifest.wal_epoch;
+            d.manifest.sstables.push(epoch);
+            d.manifest.wal_epoch = epoch + 1;
+            d.manifest.store(&d.dir)?;
+            d.trip(CrashPoint::PreWalRotate)?;
+            let _ = std::fs::remove_file(manifest::wal_path(&d.dir, old_wal));
+            d.wal = Wal::open(manifest::wal_path(&d.dir, d.manifest.wal_epoch))?;
+            d.run_epochs.push(epoch);
+        }
         self.runs
             .push(Run::build(entries, self.config.bloom_bits_per_key));
         self.stats.flushes += 1;
         if self.runs.len() > self.config.max_runs {
-            self.compact();
+            self.try_compact()?;
         }
+        Ok(())
     }
 
     /// Merge all runs into one, dropping shadowed versions and tombstones.
+    ///
+    /// # Panics
+    /// On durable stores, panics if re-sealing fails — use
+    /// [`Self::try_compact`] there.
     pub fn compact(&mut self) {
+        self.try_compact().expect("durable compaction failed");
+    }
+
+    /// Merge all runs into one, dropping shadowed versions and
+    /// tombstones; on durable stores the merged run is sealed as a new
+    /// epoch and the superseded epochs are dropped from the manifest
+    /// (atomically) and deleted. A crash anywhere inside leaves either
+    /// the old epochs live or the new one — never both, never neither.
+    ///
+    /// # Errors
+    /// Fails on I/O errors.
+    pub fn try_compact(&mut self) -> Result<()> {
         if self.runs.len() <= 1 {
-            return;
+            return Ok(());
         }
         self.stats.compactions += 1;
         // Newest-wins merge: iterate runs oldest → newest into a map.
@@ -181,10 +426,26 @@ impl LsmStore {
             .into_iter()
             .filter(|(_, v)| v.is_some())
             .collect();
+        if let Some(d) = &mut self.durability {
+            let epoch = d.manifest.next_epoch();
+            let new_epochs = if entries.is_empty() {
+                Vec::new()
+            } else {
+                manifest::write_sst(&d.dir, epoch, &entries)?;
+                vec![epoch]
+            };
+            let old = std::mem::replace(&mut d.manifest.sstables, new_epochs.clone());
+            d.manifest.store(&d.dir)?;
+            for stale in old {
+                let _ = std::fs::remove_file(manifest::sst_path(&d.dir, stale));
+            }
+            d.run_epochs = new_epochs;
+        }
         if !entries.is_empty() {
             self.runs
                 .push(Run::build(entries, self.config.bloom_bits_per_key));
         }
+        Ok(())
     }
 
     /// Point lookup.
@@ -252,6 +513,32 @@ impl LsmStore {
     pub fn run_count(&self) -> usize {
         self.runs.len()
     }
+}
+
+/// Remove artifacts the manifest does not reference: SSTable epochs a
+/// crash sealed but never published (their records are still in the
+/// WAL), WAL segments already superseded by a published flush, and
+/// abandoned atomic-write temp files.
+fn remove_unreferenced(dir: &Path, manifest: &Manifest) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = if let Some(epoch) = parse_epoch(name, "sst-", ".sst") {
+            !manifest.sstables.contains(&epoch)
+        } else if let Some(epoch) = parse_epoch(name, "wal-", ".log") {
+            epoch != manifest.wal_epoch
+        } else {
+            name.contains(".tmp-")
+        };
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn parse_epoch(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
 }
 
 /// A thread-safe handle: the store behind an `Arc<RwLock>`, matching how
@@ -450,6 +737,138 @@ mod tests {
         for i in 0..300 {
             assert_eq!(s.get(&k(i)), Some(i.to_string().into_bytes()));
         }
+    }
+
+    fn durable_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdb-lsm-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn contents(s: &mut LsmStore) -> Vec<(Key, Val)> {
+        s.scan(&[], None, usize::MAX)
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let dir = durable_dir("reopen");
+        let cfg = LsmConfig { memtable_capacity_bytes: 256, max_runs: 3, bloom_bits_per_key: 10 };
+        let mut s = LsmStore::open(&dir, cfg).unwrap();
+        assert!(s.is_durable());
+        assert_eq!(s.dir(), Some(dir.as_path()));
+        for i in 0..60 {
+            s.try_put(k(i), format!("v{i}").into_bytes()).unwrap();
+        }
+        s.try_delete(k(7)).unwrap();
+        let expect = contents(&mut s);
+        let flushed = s.stats().flushes;
+        assert!(flushed > 0, "tiny budget should have flushed");
+        drop(s);
+        let mut back = LsmStore::open(&dir, cfg).unwrap();
+        assert_eq!(contents(&mut back), expect);
+        assert_eq!(back.get(&k(7)), None);
+        assert!(back.stats().torn_recoveries == 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_reopen_is_idempotent_and_appendable() {
+        let dir = durable_dir("idem");
+        let cfg = LsmConfig { memtable_capacity_bytes: 128, max_runs: 2, bloom_bits_per_key: 0 };
+        let mut s = LsmStore::open(&dir, cfg).unwrap();
+        for i in 0..30 {
+            s.try_put(k(i), vec![b'a'; 8]).unwrap();
+        }
+        let expect = contents(&mut s);
+        drop(s);
+        // Two successive reopens with no writes: identical state.
+        let mut once = LsmStore::open(&dir, cfg).unwrap();
+        let snapshot = contents(&mut once);
+        drop(once);
+        let mut twice = LsmStore::open(&dir, cfg).unwrap();
+        assert_eq!(snapshot, expect);
+        assert_eq!(contents(&mut twice), expect);
+        // And the store still accepts writes after recovery.
+        twice.try_put(k(999), b"late".to_vec()).unwrap();
+        drop(twice);
+        let mut last = LsmStore::open(&dir, cfg).unwrap();
+        assert_eq!(last.get(&k(999)), Some(b"late".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_points_lose_at_most_the_in_flight_write() {
+        for point in [
+            CrashPoint::WalAppend,
+            CrashPoint::PreFlush,
+            CrashPoint::PreManifest,
+            CrashPoint::PreWalRotate,
+        ] {
+            let dir = durable_dir(&format!("crash-{point}"));
+            let cfg =
+                LsmConfig { memtable_capacity_bytes: 1 << 20, max_runs: 4, bloom_bits_per_key: 10 };
+            let mut s = LsmStore::open(&dir, cfg).unwrap();
+            for i in 0..40 {
+                s.try_put(k(i), format!("v{i}").into_bytes()).unwrap();
+            }
+            let committed = contents(&mut s);
+            s.arm_crash(point);
+            // WalAppend dies inside the next write; the flush points die
+            // inside an explicit flush.
+            let err = if point == CrashPoint::WalAppend {
+                s.try_put(k(777), b"lost".to_vec()).unwrap_err()
+            } else {
+                s.try_flush().unwrap_err()
+            };
+            assert!(err.is_crash(), "{point}: {err}");
+            drop(s);
+            let mut back = LsmStore::open(&dir, cfg).unwrap();
+            assert_eq!(
+                contents(&mut back),
+                committed,
+                "recovery after {point} must restore the committed contents"
+            );
+            if point == CrashPoint::WalAppend {
+                assert_eq!(back.stats().torn_recoveries, 1, "{point} leaves a torn tail");
+                assert_eq!(back.get(&k(777)), None, "the in-flight write died with the crash");
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn durable_compaction_drops_superseded_epochs() {
+        let dir = durable_dir("compact");
+        let cfg = LsmConfig { memtable_capacity_bytes: 64, max_runs: 2, bloom_bits_per_key: 10 };
+        let mut s = LsmStore::open(&dir, cfg).unwrap();
+        for i in 0..120 {
+            s.try_put(k(i % 24), format!("v{i}").into_bytes()).unwrap();
+        }
+        assert!(s.stats().compactions > 0);
+        let expect = contents(&mut s);
+        drop(s);
+        // Only manifest-referenced files survive, and state round-trips.
+        let mut back = LsmStore::open(&dir, cfg).unwrap();
+        assert_eq!(contents(&mut back), expect);
+        let sst_files = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".sst"))
+            .count();
+        assert!(back.run_count() >= sst_files.min(1), "sealed runs load as runs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_store_ignores_crash_arming() {
+        let mut s = tiny();
+        s.arm_crash(CrashPoint::PreFlush);
+        s.put(k(1), b"x".to_vec());
+        s.flush();
+        assert_eq!(s.get(&k(1)), Some(b"x".to_vec()));
+        assert!(!s.is_durable());
+        assert!(s.dir().is_none());
+        assert_eq!(s.stats().wal_appends, 0);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! The durability manifest and sealed-SSTable files.
+//!
+//! A durable store's directory holds:
+//!
+//! * `MANIFEST.json` — the authoritative state: the live WAL epoch and
+//!   the ordered list of sealed-SSTable epochs. Always written via
+//!   temp-file + atomic rename, so a crash mid-update leaves either the
+//!   old manifest or the new one, never a torn hybrid.
+//! * `sst-<epoch>.sst` — one immutable sorted run per sealed epoch
+//!   (oldest epoch = oldest run), checksummed end-to-end and also written
+//!   temp+rename. An SSTable not named by the manifest is an orphan from
+//!   a crash between the seal and the manifest update; recovery deletes
+//!   it (its records are still in the WAL).
+//! * `wal-<epoch>.log` — the live WAL segment (see [`crate::wal`]).
+//!   Rotation on flush bumps the epoch; segments older than the
+//!   manifest's epoch are crash leftovers, already sealed, and deleted.
+
+use crate::wal::fnv1a;
+pub use bdb_common::fsio::write_atomic;
+use bdb_common::{BdbError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Key/value/tombstone entries of one run, as stored in an SSTable.
+pub type SstEntries = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
+/// The manifest: what is sealed and which WAL segment is live.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Manifest {
+    /// The live WAL segment's epoch.
+    pub wal_epoch: u64,
+    /// Sealed SSTable epochs, oldest first.
+    pub sstables: Vec<u64>,
+}
+
+impl Manifest {
+    /// The manifest file inside `dir`.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join("MANIFEST.json")
+    }
+
+    /// The next epoch no existing artifact uses.
+    pub fn next_epoch(&self) -> u64 {
+        self.sstables
+            .iter()
+            .copied()
+            .chain([self.wal_epoch])
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+
+    /// Load the manifest from `dir`; a missing file is a fresh store.
+    ///
+    /// # Errors
+    /// Fails on unreadable or unparsable manifests — an unparsable
+    /// manifest means the atomic-rename contract was violated from
+    /// outside, which must not be silently healed into an empty store.
+    pub fn load(dir: &Path) -> Result<Self> {
+        let path = Self::path(dir);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| BdbError::Io(format!("parse manifest {}: {e}", path.display()))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(BdbError::Io(format!("read manifest {}: {e}", path.display()))),
+        }
+    }
+
+    /// Persist atomically: write a temp file in the same directory, then
+    /// rename over the live manifest.
+    pub fn store(&self, dir: &Path) -> Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| BdbError::Io(format!("encode manifest: {e}")))?;
+        write_atomic(&Self::path(dir), json.as_bytes())
+    }
+}
+
+/// The SSTable file for `epoch` inside `dir`.
+pub fn sst_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("sst-{epoch:08}.sst"))
+}
+
+/// The WAL segment file for `epoch` inside `dir`.
+pub fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch:08}.log"))
+}
+
+const SST_MAGIC: &[u8; 8] = b"BDBSST01";
+
+/// Serialize one sealed run. Layout: magic, entry count, then per entry
+/// `[u8 tombstone][u32 key_len][key][u32 val_len][val]`, closed by a
+/// trailing FNV-1a checksum over everything before it.
+pub fn encode_sst(entries: &SstEntries) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SST_MAGIC);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (key, value) in entries {
+        out.push(u8::from(value.is_none()));
+        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        out.extend_from_slice(key);
+        let val = value.as_deref().unwrap_or(&[]);
+        out.extend_from_slice(&(val.len() as u32).to_le_bytes());
+        out.extend_from_slice(val);
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decode a sealed run, verifying magic and checksum.
+pub fn decode_sst(bytes: &[u8], what: &str) -> Result<SstEntries> {
+    let fail = |why: &str| BdbError::Io(format!("sstable {what}: {why}"));
+    if bytes.len() < 24 || &bytes[..8] != SST_MAGIC {
+        return Err(fail("bad magic or truncated header"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return Err(fail("checksum mismatch"));
+    }
+    let count = u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")) as usize;
+    let mut entries = Vec::with_capacity(count);
+    let mut at = 16usize;
+    for _ in 0..count {
+        let tomb = *body.get(at).ok_or_else(|| fail("truncated entry"))? != 0;
+        at += 1;
+        let read_len = |at: usize| -> Result<usize> {
+            Ok(u32::from_le_bytes(
+                body.get(at..at + 4)
+                    .ok_or_else(|| fail("truncated length"))?
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize)
+        };
+        let key_len = read_len(at)?;
+        at += 4;
+        let key = body
+            .get(at..at + key_len)
+            .ok_or_else(|| fail("truncated key"))?
+            .to_vec();
+        at += key_len;
+        let val_len = read_len(at)?;
+        at += 4;
+        let val = body
+            .get(at..at + val_len)
+            .ok_or_else(|| fail("truncated value"))?
+            .to_vec();
+        at += val_len;
+        entries.push((key, if tomb { None } else { Some(val) }));
+    }
+    Ok(entries)
+}
+
+/// Seal a run to its epoch file, atomically.
+pub fn write_sst(dir: &Path, epoch: u64, entries: &SstEntries) -> Result<()> {
+    write_atomic(&sst_path(dir, epoch), &encode_sst(entries))
+}
+
+/// Load the sealed run for `epoch`.
+pub fn read_sst(dir: &Path, epoch: u64) -> Result<SstEntries> {
+    let path = sst_path(dir, epoch);
+    let bytes = std::fs::read(&path)
+        .map_err(|e| BdbError::Io(format!("read sstable {}: {e}", path.display())))?;
+    decode_sst(&bytes, &path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdb-manifest-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_and_defaults() {
+        let dir = tmp("roundtrip");
+        assert_eq!(Manifest::load(&dir).unwrap(), Manifest::default());
+        let m = Manifest { wal_epoch: 3, sstables: vec![1, 2] };
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), m);
+        assert_eq!(m.next_epoch(), 4);
+        assert_eq!(Manifest::default().next_epoch(), 1);
+    }
+
+    #[test]
+    fn sst_round_trips_tombstones() {
+        let dir = tmp("sst");
+        let entries: SstEntries = vec![
+            (b"a".to_vec(), Some(b"1".to_vec())),
+            (b"b".to_vec(), None),
+            (b"c".to_vec(), Some(Vec::new())),
+        ];
+        write_sst(&dir, 7, &entries).unwrap();
+        assert_eq!(read_sst(&dir, 7).unwrap(), entries);
+    }
+
+    #[test]
+    fn sst_rejects_corruption() {
+        let dir = tmp("sstcorrupt");
+        write_sst(&dir, 1, &vec![(b"k".to_vec(), Some(b"v".to_vec()))]).unwrap();
+        let path = sst_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_sst(&dir, 1).is_err());
+    }
+
+}

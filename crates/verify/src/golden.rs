@@ -6,6 +6,7 @@
 //! a semantics change in shared substrate (RNG, generators, `Value`
 //! ordering) that moves the engine *and* the oracle together.
 
+use bdb_common::fsio::write_atomic;
 use bdb_common::{BdbError, Result};
 use bdb_workloads::OutputPayload;
 use serde::{Deserialize, Serialize};
@@ -110,7 +111,8 @@ impl GoldenStore {
         serde_json::from_str(&text).ok()
     }
 
-    /// Write (or overwrite) a record.
+    /// Write (or overwrite) a record, via temp-file + atomic rename, so
+    /// a reader (or a crash mid-update) never sees a torn golden.
     ///
     /// # Errors
     /// Fails on filesystem errors.
@@ -119,8 +121,7 @@ impl GoldenStore {
             .map_err(|e| BdbError::Io(format!("create {}: {e}", self.dir.display())))?;
         let json = serde_json::to_string(record)
             .map_err(|e| BdbError::Io(format!("encode golden: {e}")))?;
-        std::fs::write(self.path(key), json + "\n")
-            .map_err(|e| BdbError::Io(format!("write {}: {e}", self.path(key).display())))
+        write_atomic(&self.path(key), (json + "\n").as_bytes())
     }
 
     /// Keys of all stored goldens, sorted.
@@ -162,6 +163,27 @@ mod tests {
         assert_eq!(store.load(&key), Some(rec.clone()));
         assert_eq!(store.keys(), vec![key]);
         assert_eq!(rec.digest, format!("{:016x}", payload.digest()));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn store_overwrites_atomically_without_litter() {
+        let store = tmp_store("atomic");
+        let key = GoldenStore::key("micro/sort", "sql", 1, 10);
+        for payload in [
+            OutputPayload::Ordered(vec!["a".into()]),
+            OutputPayload::Ordered(vec!["b".into()]),
+        ] {
+            let rec = GoldenRecord::of(&payload, "micro/sort", "sql", 1, 10);
+            store.store(&key, &rec).unwrap();
+            assert_eq!(store.load(&key), Some(rec));
+        }
+        let litter: Vec<_> = std::fs::read_dir(store.dir())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(litter.is_empty(), "temp files must not survive a store");
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

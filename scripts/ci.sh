@@ -42,6 +42,34 @@ if [ "$faults" -lt 1 ] || [ "$retries" -lt 1 ]; then
 fi
 echo "chaos smoke: recovered from $faults injected fault(s) with $retries retr(y/ies)"
 
+echo "== crash smoke (kill point, journal, resume) =="
+# A seeded verification sweep is killed by an injected crash point
+# mid-matrix (exit nonzero, completed cells checkpointed to the journal),
+# then resumed: the resumed sweep must go CONFORMANT against the
+# committed goldens, with the journaled cells re-verified rather than
+# re-executed. Same seed + plan = same kill point, always.
+crash_journal=$(mktemp -d)
+crash_out=$(mktemp)
+if ./target/release/bdbench verify --scale 300 --seed 42 --mode digest --goldens goldens \
+    --journal "$crash_journal" --faults "crash@exec:1:max=1" >/dev/null 2>"$crash_out"; then
+    echo "crash smoke: the killed run must exit nonzero"; exit 1
+fi
+grep -q "crashed: injected kill point mid-matrix" "$crash_out" \
+    || { echo "crash smoke: expected a crash error, got:"; cat "$crash_out"; exit 1; }
+checkpoints=$(find "$crash_journal" -name '*.json' | wc -l)
+if [ "$checkpoints" -lt 1 ] || [ "$checkpoints" -ge 25 ]; then
+    echo "crash smoke: kill point must land mid-sweep (checkpoints=$checkpoints)"; exit 1
+fi
+./target/release/bdbench verify --scale 300 --seed 42 --mode digest --goldens goldens \
+    --resume "$crash_journal" >"$crash_out" \
+    || { echo "crash smoke: resumed run failed"; cat "$crash_out"; exit 1; }
+grep -q "CONFORMANT" "$crash_out" \
+    || { echo "crash smoke: resumed run not conformant"; cat "$crash_out"; exit 1; }
+grep -q "resumed from journal" "$crash_out" \
+    || { echo "crash smoke: resumed run did not honour the journal"; cat "$crash_out"; exit 1; }
+rm -rf "$crash_journal" "$crash_out"
+echo "crash smoke: killed after $checkpoints cell(s), resumed to CONFORMANT"
+
 echo "== conformance gate (golden digests) =="
 # Two seeded runs verified against the committed golden store: a digest
 # mismatch (any semantics drift in generators, binding or engines) fails

@@ -19,7 +19,9 @@
 //! ```
 
 use bdbench::core::layers::BenchmarkSpec;
-use bdbench::core::matrix::verify_matrix;
+use bdbench::core::matrix::{verify_matrix_with, MatrixDurability};
+use bdbench::exec::fault::FaultPlan;
+use bdbench::exec::journal::{CellCheckpoint, RunJournal};
 use bdbench::core::pipeline::Benchmark;
 use bdbench::core::registry::GeneratorRegistry;
 use bdbench::exec::convert::trace_to_jsonl;
@@ -31,7 +33,7 @@ use bdbench::verify::VerifyMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N]"
+        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
     );
     std::process::exit(2)
 }
@@ -242,13 +244,28 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
 }
 
 fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
-    let (_, opts) = parse_opts(args, &["scale", "seed", "mode", "goldens"], &[]);
+    let (_, opts) = parse_opts(
+        args,
+        &["scale", "seed", "mode", "goldens", "journal", "resume", "faults"],
+        &[],
+    );
     let mode = opts.get("mode").map_or(Ok(VerifyMode::Strict), |m| m.parse::<VerifyMode>())?;
-    let report = verify_matrix(
+    // --journal DIR checkpoints completed cells there; --resume DIR is
+    // the same journal reopened after a crash (both honour existing
+    // checkpoints — resumption is just journaling against a non-empty
+    // directory).
+    let journal = opts
+        .get("resume")
+        .or_else(|| opts.get("journal"))
+        .map(RunJournal::open)
+        .transpose()?;
+    let faults = opts.get("faults").map(|s| s.parse::<FaultPlan>()).transpose()?;
+    let report = verify_matrix_with(
         opt_u64(&opts, "scale", 300),
         opt_u64(&opts, "seed", 42),
         mode,
         opts.get("goldens").map(String::as_str),
+        &MatrixDurability { journal: journal.as_ref(), faults: faults.as_ref() },
     )?;
     println!("{}", report.render());
     if report.all_passed() {
@@ -288,17 +305,80 @@ fn cmd_table2(args: &[String]) -> bdbench::common::Result<()> {
 }
 
 fn cmd_suite(args: &[String]) -> bdbench::common::Result<()> {
-    let (positional, opts) = parse_opts(args, &["scale", "seed"], &[]);
+    let (positional, opts) = parse_opts(args, &["scale", "seed", "resume"], &[]);
     let Some(name) = positional.first() else { usage() };
     let suites = all_suites();
     let suite = suites
         .iter()
         .find(|s| s.descriptor().name.eq_ignore_ascii_case(name))
         .ok_or_else(|| bdbench::common::BdbError::NotFound(format!("suite {name}")))?;
-    let results = suite.run_workloads(
-        opt_u64(&opts, "scale", 400),
-        opt_u64(&opts, "seed", 0xBD),
-    )?;
-    println!("{}", render_workload_details(suite.descriptor().name, &results));
+    let suite_name = suite.descriptor().name;
+    let scale = opt_u64(&opts, "scale", 400);
+    let seed = opt_u64(&opts, "seed", 0xBD);
+    let journal = opts.get("resume").map(RunJournal::open).transpose()?;
+    // Suite runs are all-or-nothing (one `run_workloads` call), so the
+    // resume granularity is the whole suite: a completion marker plus
+    // one checkpoint per workload. A marker in the journal means the
+    // prior run finished — print its recorded outcomes instead of
+    // re-executing.
+    let marker_key = RunJournal::cell_key(&format!("suite/{suite_name}"), "suite", seed, scale);
+    if let Some(journal) = &journal {
+        if journal.load(&marker_key).is_some() {
+            let cells: Vec<CellCheckpoint> = journal
+                .completed()
+                .into_iter()
+                .filter(|c| c.key != marker_key)
+                .collect();
+            println!(
+                "suite {suite_name} already completed in journal {} — {} workloads resumed:",
+                journal.dir().display(),
+                cells.len()
+            );
+            for c in &cells {
+                println!(
+                    "  {:<36} {:<10} {:>6} {} entries, digest {}",
+                    c.prescription, c.engine, c.shape, c.len, c.digest
+                );
+            }
+            return Ok(());
+        }
+    }
+    let results = suite.run_workloads(scale, seed)?;
+    if let Some(journal) = &journal {
+        for r in &results {
+            let key = RunJournal::cell_key(&r.report.workload, &r.report.system, seed, scale);
+            let payload = r.output.as_ref();
+            journal.record(&CellCheckpoint {
+                key,
+                prescription: r.report.workload.clone(),
+                engine: r.report.system.clone(),
+                seed,
+                scale,
+                shape: payload.map_or_else(|| "none".to_string(), |p| p.label().to_string()),
+                len: payload.map_or(0, |p| p.len() as u64),
+                digest: payload
+                    .map_or_else(|| "-".to_string(), |p| format!("{:016x}", p.digest())),
+                checks: 0,
+                passed: true,
+                failures: Vec::new(),
+            })?;
+        }
+        // The marker goes last: it is only durable once every workload
+        // checkpoint is, so a crash mid-journaling re-runs the suite.
+        journal.record(&CellCheckpoint {
+            key: marker_key,
+            prescription: format!("suite/{suite_name}"),
+            engine: "suite".into(),
+            seed,
+            scale,
+            shape: "none".into(),
+            len: results.len() as u64,
+            digest: "-".into(),
+            checks: 0,
+            passed: true,
+            failures: Vec::new(),
+        })?;
+    }
+    println!("{}", render_workload_details(suite_name, &results));
     Ok(())
 }
