@@ -39,7 +39,7 @@ fn report() {
     );
     for (name, miss) in [("all hits", false), ("all misses", true)] {
         for bits in [0usize, 10] {
-            let mut s = loaded_store(bits, records);
+            let s = loaded_store(bits, records);
             let base = s.stats();
             let t0 = Instant::now();
             for i in 0..reads {
@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("abl3_bloom_miss_reads");
     for bits in [0usize, 10] {
         group.bench_with_input(BenchmarkId::new("bloom_bits", bits), &bits, |b, &bits| {
-            let mut s = loaded_store(bits, 20_000);
+            let s = loaded_store(bits, 20_000);
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;

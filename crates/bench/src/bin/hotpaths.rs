@@ -1,16 +1,18 @@
 //! Self-timing bench runner for the framework's hot paths.
 //!
 //! Unlike the Criterion benches (which regenerate paper artifacts), this
-//! binary measures the four load-bearing code paths with plain wall-clock
+//! binary measures the load-bearing code paths with plain wall-clock
 //! timing and emits one machine-readable JSON report — the
-//! perf-regression gate CI archives as `BENCH_4.json`:
+//! perf-regression gate CI archives as `BENCH_6.json`:
 //!
 //! 1. parallel data generation throughput (items/s),
 //! 2. engine dispatch (capability routing) latency,
 //! 3. the streaming window pipeline (events/s),
-//! 4. LSM put and get throughput (ops/s).
+//! 4. LSM put and get throughput (ops/s),
+//! 5. loadgen saturation: closed-loop concurrent-driver throughput and
+//!    p99 latency per engine (kv, sql, native).
 //!
-//! Usage: `hotpaths [OUT.json]` (default `BENCH_4.json`).
+//! Usage: `hotpaths [OUT.json]` (default `BENCH_6.json`).
 
 use bdb_core::registry::GeneratorRegistry;
 use bdb_datagen::volume::VolumeSpec;
@@ -18,6 +20,7 @@ use bdb_datagen::stream::PoissonArrivals;
 use bdb_datagen::Dataset;
 use bdb_exec::config::SystemConfig;
 use bdb_exec::engine::{EngineRegistry, ExecutionRequest};
+use bdb_exec::loadgen::{self, LoadProfile};
 use bdb_exec::trace::RunTrace;
 use bdb_kv::lsm::LsmStore;
 use bdb_testgen::{PrescriptionRepository, SystemKind};
@@ -33,20 +36,30 @@ struct Sample {
     /// Work units processed (items, routes, events, ops).
     units: u64,
     secs: f64,
+    /// Tail latency, for paths driven by the concurrent load driver.
+    p99_us: Option<f64>,
 }
 
 impl Sample {
+    fn plain(name: &'static str, units: u64, secs: f64) -> Self {
+        Self { name, units, secs, p99_us: None }
+    }
+
     fn per_sec(&self) -> f64 {
         self.units as f64 / self.secs.max(1e-9)
     }
 
     fn json(&self) -> String {
+        let tail = self
+            .p99_us
+            .map_or(String::new(), |p| format!(r#","p99_us":{p:.3}"#));
         format!(
-            r#"{{"name":"{}","units":{},"secs":{:.6},"per_sec":{:.1}}}"#,
+            r#"{{"name":"{}","units":{},"secs":{:.6},"per_sec":{:.1}{}}}"#,
             self.name,
             self.units,
             self.secs,
-            self.per_sec()
+            self.per_sec(),
+            tail
         )
     }
 }
@@ -66,7 +79,7 @@ fn bench_datagen(items: u64) -> Sample {
             .generate_parallel(SEED, &VolumeSpec::Items(items), 4)
             .expect("generation")
     });
-    Sample { name: "datagen_parallel_items", units: dataset.item_count() as u64, secs }
+    Sample::plain("datagen_parallel_items", dataset.item_count() as u64, secs)
 }
 
 fn bench_dispatch(iterations: u64) -> (Sample, BTreeMap<String, Dataset>) {
@@ -101,7 +114,7 @@ fn bench_dispatch(iterations: u64) -> (Sample, BTreeMap<String, Dataset>) {
         routed
     });
     assert!(routed >= iterations);
-    (Sample { name: "dispatch_route_all", units: iterations, secs }, datasets)
+    (Sample::plain("dispatch_route_all", iterations, secs), datasets)
 }
 
 fn bench_window_pipeline(events: u64) -> Sample {
@@ -112,7 +125,7 @@ fn bench_window_pipeline(events: u64) -> Sample {
     let ((outcome, _), secs) =
         time(|| windowed_aggregation(evts, &StreamAnalyticsConfig::default()));
     assert_eq!(outcome.events_in, n);
-    Sample { name: "window_pipeline_events", units: n, secs }
+    Sample::plain("window_pipeline_events", n, secs)
 }
 
 fn bench_lsm(ops: u64) -> (Sample, Sample) {
@@ -135,22 +148,51 @@ fn bench_lsm(ops: u64) -> (Sample, Sample) {
     });
     assert!(hits > 0);
     (
-        Sample { name: "lsm_put_ops", units: ops, secs: put_secs },
-        Sample { name: "lsm_get_ops", units: ops, secs: get_secs },
+        Sample::plain("lsm_put_ops", ops, put_secs),
+        Sample::plain("lsm_get_ops", ops, get_secs),
     )
 }
 
+/// Saturation throughput + p99 per engine under the closed-loop
+/// concurrent load driver (4 clients × 8 in-flight lanes).
+fn bench_loadgen(duration_ms: u64) -> Vec<Sample> {
+    let profile = LoadProfile {
+        clients: 4,
+        inflight: 8,
+        duration_ms,
+        ..LoadProfile::default()
+    };
+    let registry = EngineRegistry::with_builtins();
+    let trace = RunTrace::new();
+    let reports =
+        loadgen::run_load(&registry, &profile, SEED, &trace).expect("load drive");
+    reports
+        .into_iter()
+        .map(|r| {
+            assert!(r.conformance_passed, "{} diverged under load", r.engine);
+            let name: &'static str = match r.engine.as_str() {
+                "kv" => "loadgen_saturation_kv",
+                "sql" => "loadgen_saturation_sql",
+                "native" => "loadgen_saturation_native",
+                other => panic!("unexpected engine {other}"),
+            };
+            Sample { name, units: r.completed, secs: r.duration_secs, p99_us: Some(r.p99_us) }
+        })
+        .collect()
+}
+
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_4.json".to_string());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_6.json".to_string());
     let (dispatch, _datasets) = bench_dispatch(10_000);
     let (lsm_put, lsm_get) = bench_lsm(50_000);
-    let samples = vec![
+    let mut samples = vec![
         bench_datagen(200_000),
         dispatch,
         bench_window_pipeline(200_000),
         lsm_put,
         lsm_get,
     ];
+    samples.extend(bench_loadgen(400));
     for s in &samples {
         println!("{:<26} {:>12} units  {:>10.4} s  {:>14.0} /s", s.name, s.units, s.secs, s.per_sec());
     }

@@ -128,6 +128,31 @@ impl Histogram {
         }
         self.hi
     }
+
+    /// Merge another histogram's samples into this one.
+    ///
+    /// Thread-local capture plus merge-at-quiesce is the aggregation
+    /// shape concurrent drivers use, so merging must be exactly
+    /// equivalent to recording every sample into one histogram — which
+    /// requires identical bucket geometry on both sides.
+    ///
+    /// # Panics
+    /// Panics when the two histograms' bounds or bucket counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo
+                && self.hi == other.hi
+                && self.buckets.len() == other.buckets.len(),
+            "histogram merge needs identical bounds and bucket counts"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A log-bucketed histogram for non-negative samples (latencies in ns).
@@ -310,6 +335,56 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 1);
         assert_eq!(h.quantile(0.5), 1); // midpoint of [0,2)
+    }
+
+    #[test]
+    fn fixed_histogram_merge_equals_single_recording() {
+        let mut merged = Histogram::with_bounds(0.0, 100.0, 20);
+        let mut single = Histogram::with_bounds(0.0, 100.0, 20);
+        let mut parts = vec![
+            Histogram::with_bounds(0.0, 100.0, 20),
+            Histogram::with_bounds(0.0, 100.0, 20),
+            Histogram::with_bounds(0.0, 100.0, 20),
+        ];
+        for i in 0..300 {
+            let x = (i as f64 * 7.31) % 100.0;
+            single.record(x);
+            parts[i % 3].record(x);
+        }
+        for p in &parts {
+            merged.merge(p);
+        }
+        // The bucket distribution and extrema are exactly equal; the
+        // running sum can differ by float addition order, so the mean
+        // is compared within epsilon instead.
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.min(), single.min());
+        assert_eq!(merged.max(), single.max());
+        assert!((merged.mean() - single.mean()).abs() < 1e-9);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+    }
+
+    #[test]
+    fn fixed_histogram_merge_empty_is_identity() {
+        let mut h = Histogram::with_bounds(0.0, 10.0, 4);
+        h.record(3.0);
+        let before = h.clone();
+        h.merge(&Histogram::with_bounds(0.0, 10.0, 4));
+        assert_eq!(h, before);
+        // And merging into an empty histogram copies the other side.
+        let mut empty = Histogram::with_bounds(0.0, 10.0, 4);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bounds")]
+    fn fixed_histogram_merge_rejects_mismatched_shape() {
+        let mut a = Histogram::with_bounds(0.0, 10.0, 4);
+        let b = Histogram::with_bounds(0.0, 20.0, 4);
+        a.merge(&b);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::registry::GeneratorRegistry;
 use bdb_exec::config::SystemConfig;
 use bdb_exec::engine::EngineRegistry;
 use bdb_exec::fault::FaultPlan;
+use bdb_exec::loadgen::LoadProfile;
 use bdb_metrics::{CostModel, PowerModel};
 use bdb_testgen::{PrescriptionRepository, SystemKind};
 use bdb_verify::VerifyMode;
@@ -47,6 +48,11 @@ pub struct BenchmarkSpec {
     /// Explicit golden-store directory for verification. `None` defers to
     /// `$BDB_GOLDENS_DIR` / the `goldens/` discovery rule.
     pub goldens_dir: Option<String>,
+    /// Concurrent load-driving profile for [`Benchmark::run_load`]
+    /// (`None` = the default profile when a load run is requested).
+    ///
+    /// [`Benchmark::run_load`]: crate::pipeline::Benchmark::run_load
+    pub load: Option<LoadProfile>,
 }
 
 impl BenchmarkSpec {
@@ -65,6 +71,7 @@ impl BenchmarkSpec {
             deadline_ms: None,
             verify: None,
             goldens_dir: None,
+            load: None,
         }
     }
 
@@ -135,6 +142,12 @@ impl BenchmarkSpec {
     /// Use an explicit golden-store directory instead of discovery.
     pub fn with_goldens_dir(mut self, dir: &str) -> Self {
         self.goldens_dir = Some(dir.to_string());
+        self
+    }
+
+    /// Configure the concurrent load driver for this spec.
+    pub fn with_load(mut self, profile: LoadProfile) -> Self {
+        self.load = Some(profile);
         self
     }
 }

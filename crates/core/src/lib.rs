@@ -32,14 +32,15 @@ pub mod registry;
 
 pub use layers::{BenchmarkSpec, ExecutionLayer, FunctionLayer, UserInterfaceLayer};
 pub use matrix::{verify_matrix, MatrixCell, MatrixReport};
-pub use pipeline::{Benchmark, BenchmarkRun, PhaseTiming};
+pub use pipeline::{Benchmark, BenchmarkRun, LoadRun, PhaseTiming};
 pub use registry::GeneratorRegistry;
 
 /// Glob import for applications.
 pub mod prelude {
     pub use crate::layers::BenchmarkSpec;
     pub use crate::matrix::{verify_matrix, MatrixReport};
-    pub use crate::pipeline::{Benchmark, BenchmarkRun};
+    pub use crate::pipeline::{Benchmark, BenchmarkRun, LoadRun};
+    pub use bdb_exec::loadgen::{LoadArrival, LoadProfile};
     pub use bdb_verify::VerifyMode;
     pub use crate::registry::GeneratorRegistry;
     pub use bdb_common::prelude::*;

@@ -20,10 +20,11 @@ use bdb_common::{pool, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
 use bdb_datagen::{merge_datasets, Dataset};
-use bdb_exec::analyzer::{ConformanceSummary, RecoverySummary};
+use bdb_exec::analyzer::{ConformanceSummary, LoadSummary, RecoverySummary};
 use bdb_exec::engine::ExecutionRequest;
 use bdb_exec::fault::{self, FaultSite, Resilience, RetryPolicy};
-use bdb_exec::reporter::{fmt_num, render_conformance, render_resilience, TableReporter};
+use bdb_exec::loadgen::{self, LoadProfile};
+use bdb_exec::reporter::{fmt_num, render_conformance, render_load, render_resilience, TableReporter};
 use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_metrics::GenerationMetrics;
 use bdb_testgen::TestGenerator;
@@ -93,6 +94,23 @@ pub struct BenchmarkRun {
     /// Structured events of the whole run: phase spans, generated data
     /// sets, engine dispatch decisions and executed operations.
     pub trace: RunTrace,
+}
+
+/// The complete output of a concurrent load drive ([`Benchmark::run_load`]).
+#[derive(Debug)]
+pub struct LoadRun {
+    /// The profile that was driven.
+    pub profile: LoadProfile,
+    /// Per-engine reports plus session/shed event counts.
+    pub summary: LoadSummary,
+    /// Conformance verdicts for the sampled-result oracle checks.
+    pub conformance: ConformanceSummary,
+    /// The rendered load table.
+    pub analysis: String,
+    /// Structured events: session start/stop, shed, conformance.
+    pub trace: RunTrace,
+    /// Issued-op digest — identical for any client count at a fixed seed.
+    pub digest: String,
 }
 
 /// The benchmark runner: Function + Execution layers with a run method.
@@ -289,6 +307,35 @@ impl Benchmark {
         })
     }
 
+    /// Drive the spec's concurrent load profile against the execution
+    /// layer's engines and distil tail-latency/saturation reports.
+    ///
+    /// Uses [`BenchmarkSpec::load`] when set, the default
+    /// [`LoadProfile`] otherwise; the spec's seed fixes the issued-op
+    /// schedule, so reruns (at any client count) issue identical ops.
+    ///
+    /// # Errors
+    /// Fails on an invalid profile, an empty engine filter, or a worker
+    /// panic inside a client session.
+    pub fn run_load(&self, spec: &BenchmarkSpec) -> Result<LoadRun> {
+        let trace = RunTrace::new();
+        let profile = spec.load.clone().unwrap_or_default();
+        trace.phase_started("load");
+        let t0 = Instant::now();
+        let reports =
+            loadgen::run_load(&self.execution_layer.engines, &profile, spec.seed, &trace)?;
+        trace.phase_finished("load", t0.elapsed());
+        let events = trace.events();
+        let summary = LoadSummary::new(reports, &events);
+        let conformance = ConformanceSummary::from_events(&events);
+        let digest = summary
+            .reports
+            .first()
+            .map(|r| r.digest.clone())
+            .unwrap_or_default();
+        let analysis = format!("{}: load\n{}", spec.name, render_load(&summary));
+        Ok(LoadRun { profile, summary, conformance, analysis, trace, digest })
+    }
 }
 
 fn render_analysis(
@@ -547,6 +594,64 @@ mod tests {
         assert_eq!(r.generation.unwrap().workers, 2);
         assert!(r.generation_rate.is_some());
         assert_eq!(r.data_summary[0].2, 150);
+    }
+
+    #[test]
+    fn load_run_reports_every_selected_engine() {
+        let profile = LoadProfile {
+            clients: 2,
+            inflight: 4,
+            duration_ms: 10,
+            engines: Some(vec!["native".into(), "kv".into()]),
+            ..LoadProfile::default()
+        };
+        let spec = BenchmarkSpec::new("drive").with_seed(11).with_load(profile);
+        let r = Benchmark::new().run_load(&spec).unwrap();
+        let names: Vec<&str> = r.summary.reports.iter().map(|x| x.engine.as_str()).collect();
+        assert_eq!(names, vec!["kv", "native"]);
+        assert!(r.summary.total_completed() > 0);
+        assert!(r.summary.all_conformant());
+        assert!(r.conformance.all_passed());
+        assert!(r.analysis.contains("drive: load"));
+        assert!(r.analysis.contains("p99 us"));
+        assert!(r.digest.starts_with("0x"));
+        // Both engines drove the same deterministic schedule.
+        assert_eq!(r.summary.reports[0].digest, r.summary.reports[1].digest);
+        let events = r.trace.events();
+        assert!(events.iter().any(|e| e.label() == "load_session_started"));
+        assert!(events.iter().any(|e| e.label() == "load_session_finished"));
+        assert!(events.iter().any(|e| e.label() == "conformance_checked"));
+    }
+
+    #[test]
+    fn load_run_digest_is_client_count_invariant() {
+        let base = LoadProfile {
+            inflight: 4,
+            duration_ms: 10,
+            engines: Some(vec!["native".into()]),
+            ..LoadProfile::default()
+        };
+        let one = BenchmarkSpec::new("c1")
+            .with_seed(7)
+            .with_load(LoadProfile { clients: 1, ..base.clone() });
+        let eight = BenchmarkSpec::new("c8")
+            .with_seed(7)
+            .with_load(LoadProfile { clients: 8, ..base });
+        let b = Benchmark::new();
+        let r1 = b.run_load(&one).unwrap();
+        let r8 = b.run_load(&eight).unwrap();
+        assert_eq!(r1.digest, r8.digest);
+        assert_eq!(
+            r1.summary.reports[0].issued,
+            r8.summary.reports[0].issued
+        );
+    }
+
+    #[test]
+    fn load_run_rejects_invalid_profile() {
+        let spec = BenchmarkSpec::new("bad")
+            .with_load(LoadProfile { clients: 0, ..LoadProfile::default() });
+        assert!(Benchmark::new().run_load(&spec).is_err());
     }
 
     #[test]

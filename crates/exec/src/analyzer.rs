@@ -227,6 +227,57 @@ impl ConformanceSummary {
     }
 }
 
+/// Load-driving metrics distilled from a run's [`LoadReport`]s and trace:
+/// per-engine tail latency and saturation throughput plus session and
+/// shedding bookkeeping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadSummary {
+    /// Per-engine reports, in drive order.
+    pub reports: Vec<crate::loadgen::LoadReport>,
+    /// Client sessions that started.
+    pub sessions_started: u64,
+    /// Client sessions that quiesced.
+    pub sessions_finished: u64,
+    /// `LoadShed` events recorded (one per engine that shed).
+    pub shed_events: u64,
+}
+
+impl LoadSummary {
+    /// Build the summary from the drive's reports and trace events.
+    pub fn new(reports: Vec<crate::loadgen::LoadReport>, events: &[TraceEvent]) -> Self {
+        let mut s = LoadSummary { reports, ..LoadSummary::default() };
+        for e in events {
+            match e {
+                TraceEvent::LoadSessionStarted { .. } => s.sessions_started += 1,
+                TraceEvent::LoadSessionFinished { .. } => s.sessions_finished += 1,
+                TraceEvent::LoadShed { .. } => s.shed_events += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// True when nothing was driven.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Ops completed across all engines.
+    pub fn total_completed(&self) -> u64 {
+        self.reports.iter().map(|r| r.completed).sum()
+    }
+
+    /// Ops shed across all engines.
+    pub fn total_shed(&self) -> u64 {
+        self.reports.iter().map(|r| r.shed).sum()
+    }
+
+    /// True when every engine's sampled results matched the oracle.
+    pub fn all_conformant(&self) -> bool {
+        self.reports.iter().all(|r| r.conformance_passed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +451,51 @@ mod tests {
         let quiet = ConformanceSummary::from_events(&[]);
         assert!(quiet.is_empty());
         assert!(quiet.all_passed());
+    }
+
+    #[test]
+    fn load_summary_condenses_reports_and_events() {
+        let report = crate::loadgen::LoadReport {
+            engine: "kv".into(),
+            clients: 2,
+            inflight: 4,
+            issued: 100,
+            completed: 90,
+            shed: 10,
+            duration_secs: 1.0,
+            throughput_ops_per_sec: 90.0,
+            p50_us: 10.0,
+            p99_us: 50.0,
+            p999_us: 80.0,
+            mean_queue_delay_ms: 0.5,
+            sampled: 7,
+            conformance_passed: true,
+            digest: "0x1".into(),
+        };
+        let events = vec![
+            TraceEvent::LoadSessionStarted { engine: "kv".into(), session: 0, lanes: 4 },
+            TraceEvent::LoadSessionStarted { engine: "kv".into(), session: 1, lanes: 4 },
+            TraceEvent::LoadSessionFinished {
+                engine: "kv".into(),
+                session: 0,
+                completed: 45,
+                micros: 10,
+            },
+            TraceEvent::LoadShed { engine: "kv".into(), count: 10 },
+        ];
+        let s = LoadSummary::new(vec![report], &events);
+        assert!(!s.is_empty());
+        assert_eq!(s.sessions_started, 2);
+        assert_eq!(s.sessions_finished, 1);
+        assert_eq!(s.shed_events, 1);
+        assert_eq!(s.total_completed(), 90);
+        assert_eq!(s.total_shed(), 10);
+        assert!(s.all_conformant());
+
+        let quiet = LoadSummary::new(Vec::new(), &[]);
+        assert!(quiet.is_empty());
+        assert!(quiet.all_conformant());
+        assert_eq!(quiet.total_completed(), 0);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   recovery loop resilient dispatch is built from.
 //! * [`journal`] — the run journal: atomic per-cell checkpoints that let
 //!   a killed run `--resume` without re-executing completed cells.
+//! * [`loadgen`] — the concurrent load driver: N client sessions × M
+//!   in-flight ops, closed- and open-loop arrivals, bounded admission
+//!   with shedding, tail-latency and saturation reporting.
 //! * [`engine`] — the pluggable engine abstraction: an [`engine::Engine`]
 //!   trait with declared [`engine::Capabilities`], five builtin engine
 //!   implementations (native, sql, kv, streaming, mapreduce) and a
@@ -31,10 +34,13 @@ pub mod convert;
 pub mod engine;
 pub mod fault;
 pub mod journal;
+pub mod loadgen;
 pub mod reporter;
 pub mod trace;
 
-pub use analyzer::{compare, find_crossover, Comparison, ConformanceSummary, RecoverySummary};
+pub use analyzer::{
+    compare, find_crossover, Comparison, ConformanceSummary, LoadSummary, RecoverySummary,
+};
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;
 pub use engine::{
@@ -43,5 +49,6 @@ pub use engine::{
 };
 pub use fault::{FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultSite, Resilience, RetryPolicy};
 pub use journal::{CellCheckpoint, RunJournal};
+pub use loadgen::{LoadArrival, LoadProfile, LoadReport};
 pub use reporter::TableReporter;
 pub use trace::{RunTrace, TraceEvent};

@@ -166,6 +166,17 @@ pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
                 journal.clone(),
                 format!("{completed} completed cells honoured"),
             ),
+            TraceEvent::LoadSessionStarted { engine, session, lanes } => (
+                format!("{engine}#{session}"),
+                format!("{lanes} in-flight lanes"),
+            ),
+            TraceEvent::LoadSessionFinished { engine, session, completed, micros } => (
+                format!("{engine}#{session}"),
+                format!("{completed} ops, {micros} us"),
+            ),
+            TraceEvent::LoadShed { engine, count } => {
+                (engine.clone(), format!("{count} ops shed at the admission queue"))
+            }
             TraceEvent::ConformanceChecked { prescription, engine, check, payload, passed, detail } => (
                 format!("{prescription}@{engine}"),
                 format!(
@@ -237,6 +248,46 @@ pub fn render_conformance(summary: &crate::analyzer::ConformanceSummary) -> Stri
         t.add_row(&[format!("  {prescription}@{engine}"), format!("{check}: {detail}")]);
     }
     t.to_text()
+}
+
+/// Render a [`LoadSummary`](crate::analyzer::LoadSummary) as an aligned
+/// text table: one row per engine with saturation throughput and
+/// p50/p99/p999 tail latency. Returns a one-line note when no load ran.
+pub fn render_load(summary: &crate::analyzer::LoadSummary) -> String {
+    if summary.is_empty() {
+        return "== Load ==\nno load was driven\n".to_string();
+    }
+    let mut t = TableReporter::new(
+        "Load",
+        &[
+            "engine", "clients", "inflight", "issued", "completed", "shed", "ops/s", "p50 us",
+            "p99 us", "p999 us", "conformance",
+        ],
+    );
+    for r in &summary.reports {
+        t.add_row(&[
+            r.engine.clone(),
+            r.clients.to_string(),
+            r.inflight.to_string(),
+            r.issued.to_string(),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            fmt_num(r.throughput_ops_per_sec),
+            fmt_num(r.p50_us),
+            fmt_num(r.p99_us),
+            fmt_num(r.p999_us),
+            if r.conformance_passed { "pass".into() } else { "FAIL".into() },
+        ]);
+    }
+    let mut out = t.to_text();
+    out.push_str(&format!(
+        "sessions: {} started, {} finished; shed events: {}; verdict: {}\n",
+        summary.sessions_started,
+        summary.sessions_finished,
+        summary.shed_events,
+        if summary.all_conformant() { "CONFORMANT" } else { "DIVERGED" },
+    ));
+    out
 }
 
 /// Format a float compactly for table cells.
@@ -377,6 +428,63 @@ mod tests {
         assert!(text.contains("1/2 passed"));
         assert!(text.contains("DIVERGED"));
         assert!(text.contains("micro/sort@mapreduce"));
+    }
+
+    #[test]
+    fn load_report_quiet_and_active() {
+        use crate::analyzer::LoadSummary;
+        use crate::trace::TraceEvent;
+        let quiet = LoadSummary::default();
+        assert!(render_load(&quiet).contains("no load was driven"));
+
+        let report = crate::loadgen::LoadReport {
+            engine: "kv".into(),
+            clients: 4,
+            inflight: 8,
+            issued: 1000,
+            completed: 950,
+            shed: 50,
+            duration_secs: 2.0,
+            throughput_ops_per_sec: 475.0,
+            p50_us: 12.0,
+            p99_us: 90.0,
+            p999_us: 400.0,
+            mean_queue_delay_ms: 1.5,
+            sampled: 63,
+            conformance_passed: true,
+            digest: "0xfeed".into(),
+        };
+        let s = LoadSummary::new(
+            vec![report],
+            &[TraceEvent::LoadShed { engine: "kv".into(), count: 50 }],
+        );
+        let text = render_load(&s);
+        assert!(text.contains("== Load =="));
+        assert!(text.contains("kv"));
+        assert!(text.contains("950"));
+        assert!(text.contains("p999 us"));
+        assert!(text.contains("CONFORMANT"));
+        assert!(text.contains("shed events: 1"));
+    }
+
+    #[test]
+    fn trace_renders_load_events() {
+        use crate::trace::{RunTrace, TraceEvent};
+        let trace = RunTrace::new();
+        trace.record(TraceEvent::LoadSessionStarted { engine: "kv".into(), session: 2, lanes: 8 });
+        trace.record(TraceEvent::LoadSessionFinished {
+            engine: "kv".into(),
+            session: 2,
+            completed: 321,
+            micros: 5000,
+        });
+        trace.record(TraceEvent::LoadShed { engine: "kv".into(), count: 9 });
+        let text = render_trace(&trace);
+        assert!(text.contains("load_session_started"));
+        assert!(text.contains("kv#2"));
+        assert!(text.contains("8 in-flight lanes"));
+        assert!(text.contains("321 ops"));
+        assert!(text.contains("9 ops shed"));
     }
 
     #[test]

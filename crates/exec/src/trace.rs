@@ -140,6 +140,34 @@ pub enum TraceEvent {
         /// Checkpoints found and honoured.
         completed: usize,
     },
+    /// A load-driver client session came up and began issuing operations.
+    LoadSessionStarted {
+        /// The engine the session drives.
+        engine: String,
+        /// Session index (0-based within the engine's run).
+        session: usize,
+        /// In-flight operation lanes the session multiplexes.
+        lanes: usize,
+    },
+    /// A load-driver client session quiesced.
+    LoadSessionFinished {
+        /// The engine the session drove.
+        engine: String,
+        /// Session index.
+        session: usize,
+        /// Operations the session completed.
+        completed: u64,
+        /// Session wall-clock in microseconds.
+        micros: u64,
+    },
+    /// The load driver's bounded admission queue overflowed and ops were
+    /// shed (counted, never blocking the arrival clock).
+    LoadShed {
+        /// The engine whose queue overflowed.
+        engine: String,
+        /// Operations shed over the run.
+        count: u64,
+    },
     /// A conformance check compared an engine's result against the
     /// reference oracle or a stored golden digest.
     ConformanceChecked {
@@ -175,6 +203,9 @@ impl TraceEvent {
             TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
             TraceEvent::CellResumed { .. } => "cell_resumed",
             TraceEvent::RunResumed { .. } => "run_resumed",
+            TraceEvent::LoadSessionStarted { .. } => "load_session_started",
+            TraceEvent::LoadSessionFinished { .. } => "load_session_finished",
+            TraceEvent::LoadShed { .. } => "load_shed",
             TraceEvent::ConformanceChecked { .. } => "conformance_checked",
         }
     }
@@ -369,6 +400,29 @@ mod tests {
         }
         for e in &resumed {
             assert!(e.is_recovery(), "{}", e.label());
+        }
+    }
+
+    #[test]
+    fn load_events_serialize_and_classify() {
+        let events = vec![
+            TraceEvent::LoadSessionStarted { engine: "kv".into(), session: 0, lanes: 8 },
+            TraceEvent::LoadSessionFinished {
+                engine: "kv".into(),
+                session: 0,
+                completed: 1234,
+                micros: 2_000_000,
+            },
+            TraceEvent::LoadShed { engine: "kv".into(), count: 17 },
+        ];
+        assert_eq!(events[0].label(), "load_session_started");
+        assert_eq!(events[1].label(), "load_session_finished");
+        assert_eq!(events[2].label(), "load_shed");
+        for e in &events {
+            assert!(!e.is_recovery(), "{}", e.label());
+            let json = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(*e, back);
         }
     }
 

@@ -29,6 +29,7 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Raw byte key.
@@ -85,6 +86,50 @@ impl KvStats {
     /// Total counted operations.
     pub fn total_ops(&self) -> u64 {
         self.writes + self.reads + self.run_probes + self.scans
+    }
+}
+
+/// Interior-mutable counter cells behind the public [`KvStats`] snapshot.
+///
+/// Read-path counters (reads, hits, probes, skips, scans) are bumped from
+/// `&self` so point lookups and scans need no exclusive access — this is
+/// what lets [`SharedLsm`] serve concurrent readers under a shared read
+/// lock while a writer flushes. Relaxed ordering: these are tallies, not
+/// synchronisation.
+#[derive(Debug, Default)]
+struct StatCells {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    memtable_hits: AtomicU64,
+    run_probes: AtomicU64,
+    bloom_skips: AtomicU64,
+    scans: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_replayed: AtomicU64,
+    torn_recoveries: AtomicU64,
+}
+
+impl StatCells {
+    fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> KvStats {
+        KvStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            memtable_hits: self.memtable_hits.load(Ordering::Relaxed),
+            run_probes: self.run_probes.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_replayed: self.wal_replayed.load(Ordering::Relaxed),
+            torn_recoveries: self.torn_recoveries.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -193,7 +238,7 @@ pub struct LsmStore {
     memtable_bytes: usize,
     /// Newest run last.
     runs: Vec<Run>,
-    stats: KvStats,
+    stats: StatCells,
     /// WAL + manifest, present only for stores opened on a directory.
     durability: Option<Durability>,
 }
@@ -230,8 +275,14 @@ impl LsmStore {
         // Replay the live WAL into the memtable, truncating torn tails.
         let wal_path = manifest::wal_path(&dir, manifest.wal_epoch);
         let replay = Wal::replay(&wal_path)?;
-        store.stats.wal_replayed = replay.records.len() as u64;
-        store.stats.torn_recoveries = u64::from(replay.was_torn());
+        store
+            .stats
+            .wal_replayed
+            .store(replay.records.len() as u64, Ordering::Relaxed);
+        store
+            .stats
+            .torn_recoveries
+            .store(u64::from(replay.was_torn()), Ordering::Relaxed);
         for record in replay.records {
             match record {
                 WalRecord::Put(k, v) => store.apply(k, Some(v)),
@@ -284,7 +335,7 @@ impl LsmStore {
     /// # Errors
     /// Fails on WAL/SSTable I/O errors or an armed [`CrashPoint`].
     pub fn try_put(&mut self, key: Key, value: Val) -> Result<()> {
-        self.stats.writes += 1;
+        StatCells::bump(&self.stats.writes);
         self.write(key, Some(value))
     }
 
@@ -301,7 +352,7 @@ impl LsmStore {
     /// # Errors
     /// Fails on WAL/SSTable I/O errors or an armed [`CrashPoint`].
     pub fn try_delete(&mut self, key: Key) -> Result<()> {
-        self.stats.writes += 1;
+        StatCells::bump(&self.stats.writes);
         self.write(key, None)
     }
 
@@ -320,7 +371,7 @@ impl LsmStore {
                 None
             };
             d.wal.append(&record, torn)?;
-            self.stats.wal_appends += 1;
+            StatCells::bump(&self.stats.wal_appends);
         }
         self.apply(key, value);
         if self.memtable_bytes >= self.config.memtable_capacity_bytes {
@@ -386,7 +437,7 @@ impl LsmStore {
         }
         self.runs
             .push(Run::build(entries, self.config.bloom_bits_per_key));
-        self.stats.flushes += 1;
+        StatCells::bump(&self.stats.flushes);
         if self.runs.len() > self.config.max_runs {
             self.try_compact()?;
         }
@@ -414,7 +465,7 @@ impl LsmStore {
         if self.runs.len() <= 1 {
             return Ok(());
         }
-        self.stats.compactions += 1;
+        StatCells::bump(&self.stats.compactions);
         // Newest-wins merge: iterate runs oldest → newest into a map.
         let mut merged: BTreeMap<Key, Option<Val>> = BTreeMap::new();
         for run in self.runs.drain(..) {
@@ -449,20 +500,25 @@ impl LsmStore {
     }
 
     /// Point lookup.
-    pub fn get(&mut self, key: &[u8]) -> Option<Val> {
-        self.stats.reads += 1;
+    ///
+    /// Takes `&self`: reads never mutate the tree, and the counters are
+    /// interior-mutable, so any number of lookups may run concurrently
+    /// (e.g. under [`SharedLsm`]'s read lock) while no writer holds the
+    /// store exclusively.
+    pub fn get(&self, key: &[u8]) -> Option<Val> {
+        StatCells::bump(&self.stats.reads);
         if let Some(v) = self.memtable.get(key) {
-            self.stats.memtable_hits += 1;
+            StatCells::bump(&self.stats.memtable_hits);
             return v.clone();
         }
         for run in self.runs.iter().rev() {
             if let Some(bloom) = &run.bloom {
                 if !bloom.may_contain(key) {
-                    self.stats.bloom_skips += 1;
+                    StatCells::bump(&self.stats.bloom_skips);
                     continue;
                 }
             }
-            self.stats.run_probes += 1;
+            StatCells::bump(&self.stats.run_probes);
             if let Some(v) = run.get(key) {
                 return v.clone();
             }
@@ -472,8 +528,9 @@ impl LsmStore {
 
     /// Ordered range scan from `start` (inclusive) to `end` (exclusive,
     /// unbounded when `None`), returning up to `limit` live entries.
-    pub fn scan(&mut self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Key, Val)> {
-        self.stats.scans += 1;
+    /// Takes `&self` for the same shared-read discipline as [`Self::get`].
+    pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Key, Val)> {
+        StatCells::bump(&self.stats.scans);
         // Merge all levels into one view, newer levels overwriting older.
         let mut view: BTreeMap<Key, Option<Val>> = BTreeMap::new();
         for run in &self.runs {
@@ -495,18 +552,18 @@ impl LsmStore {
     }
 
     /// Number of live keys (scans everything; for tests and reports).
-    pub fn len(&mut self) -> usize {
+    pub fn len(&self) -> usize {
         self.scan(&[], None, usize::MAX).len()
     }
 
     /// True when no live keys exist.
-    pub fn is_empty(&mut self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> KvStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Number of immutable runs (for observing flush/compaction activity).
@@ -559,9 +616,11 @@ impl SharedLsm {
         self.inner.write().put(key, value);
     }
 
-    /// Point lookup.
+    /// Point lookup. Takes the *read* lock: any number of concurrent
+    /// readers proceed in parallel and only writers (put/delete, and the
+    /// flushes/compactions they trigger) exclude them.
     pub fn get(&self, key: &[u8]) -> Option<Val> {
-        self.inner.write().get(key)
+        self.inner.read().get(key)
     }
 
     /// Delete.
@@ -569,9 +628,19 @@ impl SharedLsm {
         self.inner.write().delete(key);
     }
 
-    /// Range scan.
+    /// Range scan, under the read lock like [`Self::get`].
     pub fn scan(&self, start: &[u8], end: Option<&[u8]>, limit: usize) -> Vec<(Key, Val)> {
-        self.inner.write().scan(start, end, limit)
+        self.inner.read().scan(start, end, limit)
+    }
+
+    /// Freeze the memtable into a run (exclusive, like writes).
+    pub fn flush(&self) {
+        self.inner.write().flush();
+    }
+
+    /// Number of immutable runs.
+    pub fn run_count(&self) -> usize {
+        self.inner.read().run_count()
     }
 
     /// Counter snapshot.
@@ -745,7 +814,7 @@ mod tests {
         dir
     }
 
-    fn contents(s: &mut LsmStore) -> Vec<(Key, Val)> {
+    fn contents(s: &LsmStore) -> Vec<(Key, Val)> {
         s.scan(&[], None, usize::MAX)
     }
 
@@ -760,12 +829,12 @@ mod tests {
             s.try_put(k(i), format!("v{i}").into_bytes()).unwrap();
         }
         s.try_delete(k(7)).unwrap();
-        let expect = contents(&mut s);
+        let expect = contents(&s);
         let flushed = s.stats().flushes;
         assert!(flushed > 0, "tiny budget should have flushed");
         drop(s);
-        let mut back = LsmStore::open(&dir, cfg).unwrap();
-        assert_eq!(contents(&mut back), expect);
+        let back = LsmStore::open(&dir, cfg).unwrap();
+        assert_eq!(contents(&back), expect);
         assert_eq!(back.get(&k(7)), None);
         assert!(back.stats().torn_recoveries == 0);
         let _ = std::fs::remove_dir_all(&dir);
@@ -779,19 +848,19 @@ mod tests {
         for i in 0..30 {
             s.try_put(k(i), vec![b'a'; 8]).unwrap();
         }
-        let expect = contents(&mut s);
+        let expect = contents(&s);
         drop(s);
         // Two successive reopens with no writes: identical state.
-        let mut once = LsmStore::open(&dir, cfg).unwrap();
-        let snapshot = contents(&mut once);
+        let once = LsmStore::open(&dir, cfg).unwrap();
+        let snapshot = contents(&once);
         drop(once);
         let mut twice = LsmStore::open(&dir, cfg).unwrap();
         assert_eq!(snapshot, expect);
-        assert_eq!(contents(&mut twice), expect);
+        assert_eq!(contents(&twice), expect);
         // And the store still accepts writes after recovery.
         twice.try_put(k(999), b"late".to_vec()).unwrap();
         drop(twice);
-        let mut last = LsmStore::open(&dir, cfg).unwrap();
+        let last = LsmStore::open(&dir, cfg).unwrap();
         assert_eq!(last.get(&k(999)), Some(b"late".to_vec()));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -811,7 +880,7 @@ mod tests {
             for i in 0..40 {
                 s.try_put(k(i), format!("v{i}").into_bytes()).unwrap();
             }
-            let committed = contents(&mut s);
+            let committed = contents(&s);
             s.arm_crash(point);
             // WalAppend dies inside the next write; the flush points die
             // inside an explicit flush.
@@ -822,9 +891,9 @@ mod tests {
             };
             assert!(err.is_crash(), "{point}: {err}");
             drop(s);
-            let mut back = LsmStore::open(&dir, cfg).unwrap();
+            let back = LsmStore::open(&dir, cfg).unwrap();
             assert_eq!(
-                contents(&mut back),
+                contents(&back),
                 committed,
                 "recovery after {point} must restore the committed contents"
             );
@@ -845,11 +914,11 @@ mod tests {
             s.try_put(k(i % 24), format!("v{i}").into_bytes()).unwrap();
         }
         assert!(s.stats().compactions > 0);
-        let expect = contents(&mut s);
+        let expect = contents(&s);
         drop(s);
         // Only manifest-referenced files survive, and state round-trips.
-        let mut back = LsmStore::open(&dir, cfg).unwrap();
-        assert_eq!(contents(&mut back), expect);
+        let back = LsmStore::open(&dir, cfg).unwrap();
+        assert_eq!(contents(&back), expect);
         let sst_files = std::fs::read_dir(&dir)
             .unwrap()
             .flatten()
@@ -902,5 +971,53 @@ mod tests {
         });
         let all = s.scan(b"", None, usize::MAX);
         assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn shared_store_readers_run_during_flushes() {
+        // A writer hammers a tiny memtable (inducing flushes and
+        // compactions) while reader threads hold the read lock for gets
+        // and scans. Readers must always observe a fully committed value
+        // for preloaded keys — never a torn or missing one.
+        let s = SharedLsm::with_config(LsmConfig {
+            memtable_capacity_bytes: 256,
+            max_runs: 2,
+            bloom_bits_per_key: 10,
+        });
+        for i in 0..64u32 {
+            s.put(k(i), format!("v{i}").into_bytes());
+        }
+        std::thread::scope(|scope| {
+            let writer = {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for round in 0..40 {
+                        for i in 0..64u32 {
+                            s.put(k(i), format!("v{i}").into_bytes());
+                        }
+                        if round % 8 == 0 {
+                            s.flush();
+                        }
+                    }
+                })
+            };
+            for t in 0..3 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..400u32 {
+                        let key = k((i + t * 17) % 64);
+                        let got = s.get(&key).expect("preloaded key must be visible");
+                        assert!(got.starts_with(b"v"), "torn value {got:?}");
+                        if i % 50 == 0 {
+                            assert!(!s.scan(&k(0), None, 16).is_empty());
+                        }
+                    }
+                });
+            }
+            writer.join().unwrap();
+        });
+        let st = s.stats();
+        assert!(st.flushes > 0, "writer must have induced flushes");
+        assert!(st.reads >= 1200, "readers must all have counted");
     }
 }

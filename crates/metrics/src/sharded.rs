@@ -1,0 +1,98 @@
+//! Sharded hot-path counters.
+//!
+//! `MetricsCollector` is `&mut`-owned per thread and merged at quiesce, so
+//! it never contends — but the load driver also needs a handful of *global*
+//! counters (ops completed, ops shed) that every worker bumps on every
+//! operation. A single `AtomicU64` turns that into a cache-line ping-pong
+//! between cores; a mutex is worse. [`ShardedCounter`] spreads the counter
+//! over cacheline-padded shards so concurrent increments land on different
+//! lines, and only the (rare) reader pays the cost of summing.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One cacheline-padded shard. 128-byte alignment covers the common
+/// 64-byte line and the 128-byte prefetch pairs on recent x86.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicU64);
+
+/// Monotonically assigns each thread a home shard, round-robin.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A u64 counter sharded across padded atomic cells.
+///
+/// `add` touches only the calling thread's home shard (Relaxed ordering —
+/// the counter carries no synchronisation, only a tally); `value` sums all
+/// shards. The sum is exact once writers have quiesced, and a live
+/// lower-bound snapshot while they run.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: Vec<PaddedCounter>,
+}
+
+impl ShardedCounter {
+    /// A counter with `shards` cells (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1);
+        Self { shards: (0..n).map(|_| PaddedCounter::default()).collect() }
+    }
+
+    /// Add `n` to the calling thread's home shard.
+    pub fn add(&self, n: u64) {
+        let slot = THREAD_SLOT.with(|s| *s) % self.shards.len();
+        self.shards[slot].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all shards.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_counts() {
+        let c = ShardedCounter::new(4);
+        for _ in 0..100 {
+            c.add(1);
+        }
+        c.add(5);
+        assert_eq!(c.value(), 105);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let c = ShardedCounter::new(0);
+        c.add(3);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        let c = Arc::new(ShardedCounter::new(8));
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.value(), threads as u64 * per_thread);
+    }
+}

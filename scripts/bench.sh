@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Self-timing hot-path bench: measures parallel datagen, dispatch routing,
-# the window pipeline and LSM put/get, writing a machine-readable report
-# (default BENCH_4.json) for the perf-regression gate.
+# the window pipeline, LSM put/get and the concurrent load driver's
+# per-engine saturation throughput + p99, writing a machine-readable
+# report (default BENCH_6.json) for the perf-regression gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_4.json}"
+OUT="${1:-BENCH_6.json}"
 cargo run --release -p bdb-bench --bin hotpaths -- "$OUT"

@@ -83,14 +83,37 @@ for prescription in micro/wordcount relational/select-aggregate; do
     echo "conformance gate: $prescription matches its golden digest"
 done
 
+echo "== load smoke (concurrent driver, seeded) =="
+# A 2-second seeded load drive across every builtin load target: the
+# run must complete a nonzero number of ops on each engine and every
+# sampled-result oracle check must pass (zero divergences — a diverged
+# run exits nonzero).
+load_out=$(mktemp)
+./target/release/bdbench load --clients 4 --inflight 8 --duration-ms 2000 --seed 42 \
+    >"$load_out" || { echo "load smoke: drive failed or diverged"; cat "$load_out"; exit 1; }
+grep -q "verdict: CONFORMANT" "$load_out" \
+    || { echo "load smoke: expected a CONFORMANT verdict"; cat "$load_out"; exit 1; }
+for engine in kv sql native; do
+    completed=$(sed -n "s/^load\[$engine\]: .* (\([0-9]*\) completed.*/\1/p" "$load_out")
+    if [ -z "$completed" ] || [ "$completed" -lt 1 ]; then
+        echo "load smoke: $engine completed no ops"; cat "$load_out"; exit 1
+    fi
+    echo "load smoke: $engine completed $completed ops, zero divergences"
+done
+rm -f "$load_out"
+
 echo "== bench smoke (hot-path perf report) =="
 # The self-timing bench must run to completion and produce a well-formed
-# machine-readable report naming all measured hot paths.
-./scripts/bench.sh BENCH_4.json >/dev/null || { echo "bench smoke failed"; exit 1; }
-for path in datagen_parallel_items dispatch_route_all window_pipeline_events lsm_put_ops lsm_get_ops; do
-    grep -q "\"name\":\"$path\"" BENCH_4.json \
-        || { echo "bench smoke: $path missing from BENCH_4.json"; exit 1; }
+# machine-readable report naming all measured hot paths (the four legacy
+# paths plus the load driver's per-engine saturation samples).
+./scripts/bench.sh BENCH_6.json >/dev/null || { echo "bench smoke failed"; exit 1; }
+for path in datagen_parallel_items dispatch_route_all window_pipeline_events lsm_put_ops lsm_get_ops \
+            loadgen_saturation_kv loadgen_saturation_sql loadgen_saturation_native; do
+    grep -q "\"name\":\"$path\"" BENCH_6.json \
+        || { echo "bench smoke: $path missing from BENCH_6.json"; exit 1; }
 done
-echo "bench smoke: BENCH_4.json covers all five hot paths"
+grep -q '"p99_us"' BENCH_6.json \
+    || { echo "bench smoke: loadgen samples must report p99_us"; exit 1; }
+echo "bench smoke: BENCH_6.json covers all eight hot paths"
 
 echo "CI gate passed."

@@ -13,12 +13,20 @@
 //!     --goldens <dir>                  # explicit golden-store directory
 //! bdbench verify [--scale n] [--seed n] [--mode M] [--goldens dir]
 //!                                      # sweep prescriptions × engines
+//! bdbench load [opts]                  # concurrent load driver
+//!     --clients <n>  --inflight <m>    # N sessions × M in-flight lanes
+//!     --duration-ms <n>  --seed <n>
+//!     --arrival <closed|poisson:R|uniform:R>
+//!     --engine <name>                  # repeatable; default: kv,sql,native
+//!     --queue-cap <n>  --sample-every <n>
+//!     --trace <path|->                 # dump the load trace as JSON-lines
 //! bdbench table1 [--seed n]            # regenerate the paper's Table 1
 //! bdbench table2 [--scale n] [--seed n]# regenerate the paper's Table 2
 //! bdbench suite <name> [--scale n]     # run one surveyed suite's workloads
 //! ```
 
 use bdbench::core::layers::BenchmarkSpec;
+use bdbench::exec::loadgen::{LoadArrival, LoadProfile};
 use bdbench::core::matrix::{verify_matrix_with, MatrixDurability};
 use bdbench::exec::fault::FaultPlan;
 use bdbench::exec::journal::{CellCheckpoint, RunJournal};
@@ -33,7 +41,7 @@ use bdbench::verify::VerifyMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
+        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC]\n  bdbench load [--clients N] [--inflight M] [--duration-ms D] [--arrival closed|poisson:R|uniform:R] [--engine NAME]... [--seed N] [--queue-cap N] [--sample-every N] [--trace PATH|-]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
     );
     std::process::exit(2)
 }
@@ -101,6 +109,7 @@ fn main() {
         "list" => cmd_list(),
         "run" => cmd_run(rest),
         "verify" => cmd_verify(rest),
+        "load" => cmd_load(rest),
         "table1" => cmd_table1(rest),
         "table2" => cmd_table2(rest),
         "suite" => cmd_suite(rest),
@@ -276,6 +285,83 @@ fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
             report.failed_cells().len()
         )))
     }
+}
+
+/// `bdbench load`: drive N concurrent clients × M in-flight lanes
+/// against the built-in engines and report tail latency + saturation.
+fn cmd_load(args: &[String]) -> bdbench::common::Result<()> {
+    let (positional, opts) = parse_opts(
+        args,
+        &[
+            "clients",
+            "inflight",
+            "duration-ms",
+            "arrival",
+            "engine",
+            "seed",
+            "queue-cap",
+            "sample-every",
+            "trace",
+        ],
+        &[],
+    );
+    if !positional.is_empty() {
+        eprintln!("bdbench load takes no positional arguments");
+        usage();
+    }
+    let mut profile = LoadProfile::default();
+    profile.clients = opt_u64(&opts, "clients", profile.clients as u64) as usize;
+    profile.inflight = opt_u64(&opts, "inflight", profile.inflight as u64) as usize;
+    profile.duration_ms = opt_u64(&opts, "duration-ms", profile.duration_ms);
+    profile.sample_every = opt_u64(&opts, "sample-every", profile.sample_every as u64) as usize;
+    if let Some(arrival) = opts.get("arrival") {
+        profile.arrival = arrival.parse::<LoadArrival>()?;
+    }
+    if opts.contains_key("queue-cap") {
+        profile.queue_capacity = Some(opt_u64(&opts, "queue-cap", 0) as usize);
+    }
+    // parse_opts keeps the last value of a repeated option; accept a
+    // comma-separated list too so `--engine kv,native` selects both.
+    if let Some(engines) = opts.get("engine") {
+        profile.engines =
+            Some(engines.split(',').map(|e| e.trim().to_string()).collect());
+    }
+    let spec = BenchmarkSpec::new("load")
+        .with_seed(opt_u64(&opts, "seed", 42))
+        .with_load(profile);
+    let run = Benchmark::new().run_load(&spec)?;
+    println!("{}", run.analysis);
+    for report in &run.summary.reports {
+        println!(
+            "load[{}]: {:.0} ops/s saturation, p50 {:.1} us, p99 {:.1} us, p999 {:.1} us ({} completed, {} shed)",
+            report.engine,
+            report.throughput_ops_per_sec,
+            report.p50_us,
+            report.p99_us,
+            report.p999_us,
+            report.completed,
+            report.shed,
+        );
+    }
+    println!("issued-op digest: {}", run.digest);
+    if let Some(target) = opts.get("trace") {
+        let jsonl = trace_to_jsonl(&run.trace.events())?;
+        if target == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(target, &jsonl).map_err(|e| {
+                bdbench::common::BdbError::Io(format!("writing trace to {target}: {e}"))
+            })?;
+            eprintln!("trace: {} events written to {target}", run.trace.len());
+        }
+    }
+    if !run.summary.all_conformant() {
+        return Err(bdbench::common::BdbError::Execution(format!(
+            "load conformance: {}/{} oracle checks passed",
+            run.conformance.passes, run.conformance.checks
+        )));
+    }
+    Ok(())
 }
 
 fn cmd_table1(args: &[String]) -> bdbench::common::Result<()> {

@@ -101,7 +101,7 @@ fn repeated_crashes_accumulate_no_loss() {
         store.arm_crash(CrashPoint::PreFlush);
         assert!(store.try_flush().unwrap_err().is_crash());
     }
-    let mut recovered = LsmStore::open(&dir, tiny_config()).unwrap();
+    let recovered = LsmStore::open(&dir, tiny_config()).unwrap();
     let want: Vec<(Vec<u8>, Vec<u8>)> =
         model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     assert_eq!(recovered.scan(&[], None, usize::MAX), want);
