@@ -105,6 +105,7 @@ fn bench_dispatch(iterations: u64) -> (Sample, BTreeMap<String, Dataset>) {
         datasets: &datasets,
         config: &config,
         trace: &trace,
+        routing: bdb_exec::planner::RoutingPolicy::default(),
     };
     let (routed, secs) = time(|| {
         let mut routed = 0u64;

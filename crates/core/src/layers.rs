@@ -11,6 +11,7 @@ use bdb_exec::config::SystemConfig;
 use bdb_exec::engine::EngineRegistry;
 use bdb_exec::fault::FaultPlan;
 use bdb_exec::loadgen::LoadProfile;
+use bdb_exec::planner::RoutingPolicy;
 use bdb_metrics::{CostModel, PowerModel};
 use bdb_testgen::{PrescriptionRepository, SystemKind};
 use bdb_verify::VerifyMode;
@@ -53,6 +54,10 @@ pub struct BenchmarkSpec {
     ///
     /// [`Benchmark::run_load`]: crate::pipeline::Benchmark::run_load
     pub load: Option<LoadProfile>,
+    /// How the registry orders capable engines for the run: the
+    /// historical first-capable default, static cost ranking, or the
+    /// adaptive observed-runtime loop.
+    pub routing: RoutingPolicy,
 }
 
 impl BenchmarkSpec {
@@ -72,6 +77,7 @@ impl BenchmarkSpec {
             verify: None,
             goldens_dir: None,
             load: None,
+            routing: RoutingPolicy::default(),
         }
     }
 
@@ -148,6 +154,12 @@ impl BenchmarkSpec {
     /// Configure the concurrent load driver for this spec.
     pub fn with_load(mut self, profile: LoadProfile) -> Self {
         self.load = Some(profile);
+        self
+    }
+
+    /// Choose how the registry ranks capable engines.
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
         self
     }
 }
@@ -233,6 +245,13 @@ mod tests {
         assert!(s.faults.is_none());
         assert_eq!(s.retries, 0);
         assert!(s.deadline_ms.is_none());
+        assert_eq!(s.routing, RoutingPolicy::FirstCapable);
+    }
+
+    #[test]
+    fn spec_routing_builder() {
+        let s = BenchmarkSpec::new("x").with_routing(RoutingPolicy::Adaptive);
+        assert_eq!(s.routing, RoutingPolicy::Adaptive);
     }
 
     #[test]

@@ -22,16 +22,19 @@
 use crate::layers::BenchmarkSpec;
 use crate::pipeline::Benchmark;
 use bdb_common::{BdbError, Result};
-use bdb_exec::analyzer::RecoverySummary;
+use bdb_exec::analyzer::{RecoverySummary, RoutingSummary};
 use bdb_exec::config::SystemConfig;
+use bdb_exec::cost::ObservedCosts;
 use bdb_exec::engine::{
     Engine, EngineRegistry, KvEngine, MapReduceEngine, NativeEngine, SqlEngine, StreamingEngine,
 };
 use bdb_exec::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
 use bdb_exec::journal::{CellCheckpoint, RunJournal};
+use bdb_exec::planner::RoutingPolicy;
 use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_testgen::{PrescriptionRepository, SystemKind};
 use bdb_verify::{GoldenStore, VerifyMode};
+use std::sync::Arc;
 
 /// Engine threads pinned for matrix runs, keeping KV client sharding —
 /// and therefore Element-class golden digests — machine-independent.
@@ -68,6 +71,10 @@ pub struct MatrixReport {
     /// Recovery activity of the sweep itself: checkpoints written, cells
     /// resumed from a journal, kill points fired.
     pub recovery: RecoverySummary,
+    /// Routing activity across the sweep's cells: dispatch decisions,
+    /// cost predictions vs observations, engine migrations. Empty under
+    /// the first-capable default.
+    pub routing: RoutingSummary,
 }
 
 impl MatrixReport {
@@ -111,6 +118,10 @@ impl MatrixReport {
             out.push('\n');
             out.push_str(&bdb_exec::reporter::render_resilience(&self.recovery));
         }
+        if !self.routing.is_empty() {
+            out.push('\n');
+            out.push_str(&bdb_exec::reporter::render_routing(&self.routing));
+        }
         let verdict = if self.all_passed() { "CONFORMANT" } else { "DIVERGED" };
         let resumed = self.cells.iter().filter(|c| c.resumed).count();
         out.push_str(&format!(
@@ -151,6 +162,34 @@ pub struct MatrixDurability<'a> {
     pub faults: Option<&'a FaultPlan>,
 }
 
+/// Routing knobs for a matrix sweep: which dispatch policy each cell
+/// runs under, and the observed-cost store cells share.
+///
+/// The store is the adaptive loop's memory: every cell folds its engines'
+/// observed runtimes into it, so later cells (and later *sweeps*, when
+/// the caller reuses one store across passes) rank engines by what the
+/// matrix actually measured instead of the static table.
+#[derive(Debug, Clone)]
+pub struct MatrixRouting {
+    /// Dispatch policy for every cell in the sweep.
+    pub policy: RoutingPolicy,
+    /// EWMA store shared by all cells (and across passes when reused).
+    pub observed: Arc<ObservedCosts>,
+}
+
+impl Default for MatrixRouting {
+    fn default() -> Self {
+        Self { policy: RoutingPolicy::default(), observed: Arc::new(ObservedCosts::new()) }
+    }
+}
+
+impl MatrixRouting {
+    /// A routing config under `policy` with a fresh observed-cost store.
+    pub fn with_policy(policy: RoutingPolicy) -> Self {
+        Self { policy, ..Self::default() }
+    }
+}
+
 /// Sweep every built-in prescription across every capable built-in
 /// engine, verifying each cell under `mode`. Incapable pairs are skipped
 /// (they are not matrix cells); a capable pair that fails to execute is
@@ -182,6 +221,26 @@ pub fn verify_matrix_with(
     goldens_dir: Option<&str>,
     durability: &MatrixDurability<'_>,
 ) -> Result<MatrixReport> {
+    verify_matrix_routed(scale, seed, mode, goldens_dir, durability, &MatrixRouting::default())
+}
+
+/// [`verify_matrix_with`] under an explicit dispatch policy. Each cell
+/// still runs in a single-engine registry — the sweep is a conformance
+/// harness, so the routed engine must stay the cell's engine — but every
+/// cell's registry shares `routing.observed`, records its routing
+/// decisions into the report, and feeds observed runtimes back for the
+/// next cell (or the next pass, when the caller reuses the store).
+///
+/// # Errors
+/// Fails as [`verify_matrix_with`] does.
+pub fn verify_matrix_routed(
+    scale: u64,
+    seed: u64,
+    mode: VerifyMode,
+    goldens_dir: Option<&str>,
+    durability: &MatrixDurability<'_>,
+    routing: &MatrixRouting,
+) -> Result<MatrixReport> {
     let names: Vec<String> = PrescriptionRepository::with_builtins()
         .names()
         .iter()
@@ -206,6 +265,7 @@ pub fn verify_matrix_with(
         }
     }
     let mut cells = Vec::new();
+    let mut routing_events = Vec::new();
     for name in &names {
         for engine in builtin_engines() {
             let engine_name = engine.name();
@@ -228,18 +288,29 @@ pub fn verify_matrix_with(
                 SystemConfig::default().with_threads(MATRIX_THREADS);
             let mut registry = EngineRegistry::new();
             registry.register(engine);
+            // All cells share the sweep's observed-cost store: each cell
+            // feeds its runtime into the EWMA the next cell (or pass)
+            // ranks with.
+            registry.set_observed(routing.observed.clone());
             bench.execution_layer_mut().engines = registry;
             let mut spec = BenchmarkSpec::new(&format!("verify/{name}/{engine_name}"))
                 .with_prescription(name)
                 .with_system(system)
                 .with_scale(scale)
                 .with_seed(seed)
-                .with_verify(mode);
+                .with_verify(mode)
+                .with_routing(routing.policy);
             if let Some(dir) = goldens_dir {
                 spec = spec.with_goldens_dir(dir);
             }
             match bench.run(&spec) {
                 Ok(run) => {
+                    routing_events.extend(run.trace.events().iter().filter(|e| {
+                        matches!(
+                            e,
+                            TraceEvent::RoutingDecision { .. } | TraceEvent::CostObserved { .. }
+                        )
+                    }).cloned());
                     let digest = run
                         .results
                         .iter()
@@ -301,7 +372,8 @@ pub fn verify_matrix_with(
         }
     }
     let recovery = RecoverySummary::from_events(&sweep_trace.events());
-    Ok(MatrixReport { mode, cells, recovery })
+    let routing = RoutingSummary::from_events(&routing_events);
+    Ok(MatrixReport { mode, cells, recovery, routing })
 }
 
 /// Turn a journal checkpoint back into a matrix cell, re-verifying its
@@ -381,6 +453,7 @@ mod tests {
             mode: VerifyMode::Digest,
             cells: Vec::new(),
             recovery: RecoverySummary::default(),
+            routing: RoutingSummary::default(),
         };
         assert!(!r.all_passed());
     }
@@ -400,6 +473,7 @@ mod tests {
             mode: VerifyMode::Digest,
             cells: vec![cell(false), cell(true)],
             recovery: RecoverySummary::default(),
+            routing: RoutingSummary::default(),
         };
         let text = r.render();
         assert!(text.contains("pass (resumed)"), "{text}");

@@ -20,11 +20,13 @@ use bdb_common::{pool, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
 use bdb_datagen::{merge_datasets, Dataset};
-use bdb_exec::analyzer::{ConformanceSummary, LoadSummary, RecoverySummary};
+use bdb_exec::analyzer::{ConformanceSummary, LoadSummary, RecoverySummary, RoutingSummary};
 use bdb_exec::engine::ExecutionRequest;
 use bdb_exec::fault::{self, FaultSite, Resilience, RetryPolicy};
 use bdb_exec::loadgen::{self, LoadProfile};
-use bdb_exec::reporter::{fmt_num, render_conformance, render_load, render_resilience, TableReporter};
+use bdb_exec::reporter::{
+    fmt_num, render_conformance, render_load, render_resilience, render_routing, TableReporter,
+};
 use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_metrics::GenerationMetrics;
 use bdb_testgen::TestGenerator;
@@ -265,6 +267,7 @@ impl Benchmark {
             datasets: &datasets,
             config: &self.execution_layer.system_config,
             trace: &trace,
+            routing: spec.routing,
         };
         let results = self.execution_layer.engines.dispatch_resilient(&request, &resilience)?;
         finish_phase(&trace, Phase::Execution, t0);
@@ -403,14 +406,23 @@ fn render_analysis(
     } else {
         format!("\n{}", render_conformance(conformance))
     };
+    // Routing appears only under cost/adaptive policies — first-capable
+    // runs record no routing events and keep their analysis unchanged.
+    let routing_summary = RoutingSummary::from_events(&trace.events());
+    let routing_section = if routing_summary.is_empty() {
+        String::new()
+    } else {
+        format!("\n{}", render_routing(&routing_summary))
+    };
     format!(
-        "{}\n{}{}{}{}{}",
+        "{}\n{}{}{}{}{}{}",
         data.to_text(),
         gen_line,
         dispatch_lines,
         table.to_text(),
         resilience_section,
-        conformance_section
+        conformance_section,
+        routing_section
     )
 }
 
@@ -511,6 +523,31 @@ mod tests {
         let r = run("micro/wordcount", SystemKind::Native, 100);
         assert!(r.conformance.is_empty());
         assert!(!r.analysis.contains("Conformance"));
+        // First-capable runs record no routing events and no section.
+        assert!(!r.analysis.contains("== Routing =="));
+        assert!(!r.trace.events().iter().any(|e| e.label() == "routing_decision"));
+    }
+
+    #[test]
+    fn cost_routed_run_records_decisions() {
+        let spec = BenchmarkSpec::new("routed")
+            .with_prescription("relational/select-aggregate")
+            .with_system(SystemKind::Sql)
+            .with_scale(300)
+            .with_seed(5)
+            .with_routing(bdb_exec::planner::RoutingPolicy::Cost);
+        let r = Benchmark::new().run(&spec).unwrap();
+        assert_eq!(r.results[0].report.system, "sql");
+        let events = r.trace.events();
+        assert!(events.iter().any(|e| e.label() == "routing_decision"));
+        assert!(events.iter().any(|e| e.label() == "cost_observed"));
+        assert!(r.analysis.contains("== Routing =="));
+        // Cost routing must not change the result itself.
+        let baseline = run("relational/select-aggregate", SystemKind::Sql, 300);
+        assert_eq!(
+            r.results[0].detail("output_rows"),
+            baseline.results[0].detail("output_rows")
+        );
     }
 
     #[test]

@@ -70,6 +70,16 @@ impl SystemConfig {
         }
     }
 
+    /// EWMA smoothing factor for the router's observed-cost store: the
+    /// `routing.ewma_alpha` parameter when set to a value in `(0, 1]`,
+    /// else [`crate::cost::DEFAULT_EWMA_ALPHA`].
+    pub fn routing_ewma_alpha(&self) -> f64 {
+        self.parameter::<f64>("routing.ewma_alpha")
+            .ok()
+            .filter(|a| *a > 0.0 && *a <= 1.0)
+            .unwrap_or(crate::cost::DEFAULT_EWMA_ALPHA)
+    }
+
     /// Read a typed parameter.
     ///
     /// # Errors
@@ -131,6 +141,18 @@ mod tests {
     fn zero_threads_falls_back_to_parallelism() {
         let c = SystemConfig::default();
         assert!(c.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn routing_alpha_falls_back_on_bad_values() {
+        assert_eq!(
+            SystemConfig::default().routing_ewma_alpha(),
+            crate::cost::DEFAULT_EWMA_ALPHA
+        );
+        let c = SystemConfig::default().with_parameter("routing.ewma_alpha", "0.9");
+        assert!((c.routing_ewma_alpha() - 0.9).abs() < 1e-12);
+        let c = SystemConfig::default().with_parameter("routing.ewma_alpha", "1.5");
+        assert_eq!(c.routing_ewma_alpha(), crate::cost::DEFAULT_EWMA_ALPHA);
     }
 
     #[test]

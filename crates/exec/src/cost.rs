@@ -1,0 +1,326 @@
+//! Static per-engine cost functions and the observed-runtime store.
+//!
+//! The planner (see [`crate::planner`]) scores every capable engine for a
+//! prescribed test and picks the cheapest. Predictions come from three
+//! sources, in order of preference under the adaptive policy: runtimes
+//! *observed* earlier in the run (an EWMA per cost-model key, kept in
+//! [`ObservedCosts`]), a cost the engine reports for its own chosen plan
+//! ([`crate::engine::Engine::estimate_cost`] — the SQL engine prices its
+//! memo-extracted plan), and the static per-engine cost table over
+//! (operation class × data kind × scale) seeded in [`StaticCostModel`].
+//! All three speak the same unit — estimated microseconds of engine
+//! execution time — so an observed wall clock can replace a static guess
+//! without conversion.
+//!
+//! Cost-model keys are `engine/class/kinds/s<bucket>` strings where the
+//! scale bucket is the decade (`log10`) of the run's item count: runs at
+//! scale 300 and 900 share one observed estimate, runs at 300 and 30 000
+//! do not. The EWMA keeps the store small and recency-weighted; the
+//! smoothing factor defaults to [`DEFAULT_EWMA_ALPHA`] and can be
+//! overridden per run via the `routing.ewma_alpha` system-config
+//! parameter.
+
+use crate::engine::WorkloadClass;
+use bdb_datagen::DataSourceKind;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default EWMA smoothing factor for observed runtimes: the newest sample
+/// carries 40% of the estimate, enough to migrate within two repeats of a
+/// cell without letting one noisy run dominate.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.4;
+
+/// A static cost curve: `startup + per_item·n + log_factor·n·log2(n)`
+/// estimated microseconds at scale `n`. All coefficients are
+/// non-negative, so every curve is monotonically non-decreasing in scale
+/// (property-tested below) and comparisons between engines are stable as
+/// runs grow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostFn {
+    /// Fixed setup cost (framework spin-up, plan lowering), in µs.
+    pub startup: f64,
+    /// Marginal cost per input item, in µs.
+    pub per_item: f64,
+    /// Coefficient of the `n·log2(n)` term (sort/shuffle-bound work).
+    pub log_factor: f64,
+}
+
+impl CostFn {
+    /// Evaluate the curve at `scale` input items.
+    pub fn cost(&self, scale: u64) -> f64 {
+        let n = scale as f64;
+        let lg = if scale > 1 { n.log2() } else { 0.0 };
+        self.startup + self.per_item * n + self.log_factor * n * lg
+    }
+}
+
+/// Predicts what one engine costs to execute one operation class over one
+/// data kind at a given scale, in estimated microseconds. `None` means
+/// the model has no opinion (the router then ranks the engine last).
+pub trait CostModel: Send + Sync {
+    /// Predicted execution cost, or `None` when unknown.
+    fn predict(
+        &self,
+        engine: &str,
+        class: WorkloadClass,
+        kind: DataSourceKind,
+        scale: u64,
+    ) -> Option<f64>;
+}
+
+/// The seeded static cost table: one [`CostFn`] per
+/// (engine × operation class × data kind) the builtin engines cover.
+#[derive(Debug, Clone, Default)]
+pub struct StaticCostModel {
+    entries: BTreeMap<(String, WorkloadClass, DataSourceKind), CostFn>,
+}
+
+impl StaticCostModel {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The table seeded for the five builtin engines. The coefficients
+    /// encode the registration-order intuition the first-capable router
+    /// hard-coded: native kernels are the cheapest way to run text and
+    /// iterative work, the SQL engine beats MapReduce on relational
+    /// patterns at small scale, and the general-purpose MapReduce engine
+    /// pays framework startup plus shuffle costs everywhere.
+    pub fn with_builtins() -> Self {
+        use DataSourceKind::{Graph, Stream, Table, Text};
+        use WorkloadClass::{Element, Iterative, Relational, Windowed};
+        let mut m = Self::new();
+        let native = CostFn { startup: 50.0, per_item: 0.8, log_factor: 0.0 };
+        let native_iter = CostFn { startup: 80.0, per_item: 2.5, log_factor: 0.0 };
+        for kind in [Text, Graph, Table] {
+            m.set("native", WorkloadClass::Text, kind, native);
+            m.set("native", Iterative, kind, native_iter);
+        }
+        m.set("sql", Relational, Table, CostFn { startup: 120.0, per_item: 0.9, log_factor: 0.15 });
+        m.set("kv", Element, Table, CostFn { startup: 60.0, per_item: 1.1, log_factor: 0.0 });
+        m.set("streaming", Windowed, Stream, CostFn { startup: 90.0, per_item: 0.7, log_factor: 0.0 });
+        let mr_text = CostFn { startup: 400.0, per_item: 1.2, log_factor: 0.05 };
+        let mr_iter = CostFn { startup: 500.0, per_item: 3.5, log_factor: 0.05 };
+        let mr_rel = CostFn { startup: 400.0, per_item: 1.5, log_factor: 0.2 };
+        for kind in [Text, Graph, Table] {
+            m.set("mapreduce", WorkloadClass::Text, kind, mr_text);
+            m.set("mapreduce", Iterative, kind, mr_iter);
+            m.set("mapreduce", Relational, kind, mr_rel);
+        }
+        m
+    }
+
+    /// Insert (or replace) the curve for one table cell.
+    pub fn set(&mut self, engine: &str, class: WorkloadClass, kind: DataSourceKind, f: CostFn) {
+        self.entries.insert((engine.to_string(), class, kind), f);
+    }
+
+    /// Iterate the table cells in (engine, class, kind) order.
+    pub fn entries(
+        &self,
+    ) -> impl Iterator<Item = (&str, WorkloadClass, DataSourceKind, CostFn)> + '_ {
+        self.entries.iter().map(|((e, c, k), f)| (e.as_str(), *c, *k, *f))
+    }
+
+    /// The (class, kind) combinations the table covers.
+    pub fn covered_profiles(&self) -> Vec<(WorkloadClass, DataSourceKind)> {
+        let mut out: Vec<(WorkloadClass, DataSourceKind)> =
+            self.entries.keys().map(|(_, c, k)| (*c, *k)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The cheapest engine for (class, kind) at `scale`, with its cost.
+    pub fn winner(
+        &self,
+        class: WorkloadClass,
+        kind: DataSourceKind,
+        scale: u64,
+    ) -> Option<(&str, f64)> {
+        self.entries
+            .iter()
+            .filter(|((_, c, k), _)| *c == class && *k == kind)
+            .map(|((e, _, _), f)| (e.as_str(), f.cost(scale)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+impl CostModel for StaticCostModel {
+    fn predict(
+        &self,
+        engine: &str,
+        class: WorkloadClass,
+        kind: DataSourceKind,
+        scale: u64,
+    ) -> Option<f64> {
+        self.entries
+            .get(&(engine.to_string(), class, kind))
+            .map(|f| f.cost(scale))
+    }
+}
+
+/// The cost-model key an observed runtime is stored under:
+/// `engine/class/kind+kind/s<decade>`.
+pub fn cost_key(
+    engine: &str,
+    class: WorkloadClass,
+    kinds: &[DataSourceKind],
+    scale: u64,
+) -> String {
+    let kinds = if kinds.is_empty() {
+        "-".to_string()
+    } else {
+        kinds.iter().map(ToString::to_string).collect::<Vec<_>>().join("+")
+    };
+    format!("{engine}/{class}/{kinds}/s{}", scale.max(1).ilog10())
+}
+
+/// One smoothed observation series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedEntry {
+    /// Exponentially weighted moving average of observed runtimes, in µs.
+    pub ewma_micros: f64,
+    /// Samples folded into the average.
+    pub samples: u64,
+}
+
+/// Observed engine runtimes, EWMA-smoothed per cost-model key.
+///
+/// The store is interior-mutable and shareable (`Arc<ObservedCosts>`):
+/// the registry records into it after every routed execution, and a
+/// matrix sweep injects one store into every cell so the second pass
+/// re-ranks on what the first pass measured.
+#[derive(Debug, Default)]
+pub struct ObservedCosts {
+    inner: Mutex<BTreeMap<String, ObservedEntry>>,
+}
+
+impl ObservedCosts {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observed runtime into the key's EWMA with smoothing
+    /// factor `alpha` (new estimate = `alpha·sample + (1-alpha)·old`).
+    /// Returns the updated entry.
+    pub fn observe(&self, key: &str, micros: f64, alpha: f64) -> ObservedEntry {
+        let mut inner = self.inner.lock().expect("observed-cost store poisoned");
+        let entry = inner
+            .entry(key.to_string())
+            .and_modify(|e| {
+                e.ewma_micros = alpha * micros + (1.0 - alpha) * e.ewma_micros;
+                e.samples += 1;
+            })
+            .or_insert(ObservedEntry { ewma_micros: micros, samples: 1 });
+        *entry
+    }
+
+    /// The current estimate for a key, if any runtime has been observed.
+    pub fn get(&self, key: &str) -> Option<ObservedEntry> {
+        self.inner.lock().expect("observed-cost store poisoned").get(key).copied()
+    }
+
+    /// Number of keys with at least one observation.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("observed-cost store poisoned").len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every (key, entry) pair, in key order.
+    pub fn snapshot(&self) -> Vec<(String, ObservedEntry)> {
+        self.inner
+            .lock()
+            .expect("observed-cost store poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builtin_table_covers_every_builtin_engine() {
+        let m = StaticCostModel::with_builtins();
+        let engines: std::collections::BTreeSet<&str> =
+            m.entries().map(|(e, _, _, _)| e).collect();
+        assert_eq!(
+            engines.into_iter().collect::<Vec<_>>(),
+            vec!["kv", "mapreduce", "native", "sql", "streaming"]
+        );
+    }
+
+    #[test]
+    fn native_wins_text_at_all_listed_scales() {
+        let m = StaticCostModel::with_builtins();
+        for scale in [1, 10, 100, 10_000] {
+            let (winner, _) = m
+                .winner(WorkloadClass::Text, DataSourceKind::Text, scale)
+                .expect("text/text is covered");
+            assert_eq!(winner, "native", "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn cost_keys_bucket_by_decade() {
+        let k = |scale| cost_key("sql", WorkloadClass::Relational, &[DataSourceKind::Table], scale);
+        assert_eq!(k(300), k(900));
+        assert_ne!(k(300), k(3_000));
+        assert_eq!(k(300), "sql/relational/table/s2");
+        assert_eq!(k(0), k(1));
+    }
+
+    #[test]
+    fn ewma_converges_toward_repeated_samples() {
+        let store = ObservedCosts::new();
+        store.observe("k", 1000.0, DEFAULT_EWMA_ALPHA);
+        for _ in 0..20 {
+            store.observe("k", 100.0, DEFAULT_EWMA_ALPHA);
+        }
+        let e = store.get("k").unwrap();
+        assert!(e.ewma_micros < 110.0, "ewma {} did not converge", e.ewma_micros);
+        assert_eq!(e.samples, 21);
+        assert_eq!(store.len(), 1);
+    }
+
+    proptest! {
+        /// Every builtin cost curve is monotonically non-decreasing in
+        /// scale: more data never predicts cheaper execution.
+        #[test]
+        fn cost_functions_are_monotonic_in_scale(lo in 0u64..1_000_000, delta in 0u64..1_000_000) {
+            let m = StaticCostModel::with_builtins();
+            let hi = lo + delta;
+            for (engine, class, kind, f) in m.entries() {
+                prop_assert!(
+                    f.cost(lo) <= f.cost(hi),
+                    "{engine}/{class}/{kind}: cost({lo}) > cost({hi})"
+                );
+            }
+        }
+
+        /// The EWMA estimate always stays within the range of the samples
+        /// folded into it.
+        #[test]
+        fn ewma_stays_within_sample_range(samples in proptest::collection::vec(1.0f64..1e6, 1..20)) {
+            let store = ObservedCosts::new();
+            for s in &samples {
+                store.observe("k", *s, DEFAULT_EWMA_ALPHA);
+            }
+            let e = store.get("k").unwrap();
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(e.ewma_micros >= lo - 1e-9 && e.ewma_micros <= hi + 1e-9);
+            prop_assert_eq!(e.samples, samples.len() as u64);
+        }
+    }
+}

@@ -6,10 +6,16 @@
 //! [`SystemKind`]s it implements, which data kinds, operation classes and
 //! pattern shapes it can execute — and runs an [`ExecutionRequest`] into
 //! workload results. An [`EngineRegistry`] routes a prescribed test by
-//! capability match: an engine implementing the requested system wins;
-//! otherwise the first capable engine (in registration order) takes the
-//! test, mirroring BigOP-style automatic mapping of abstract operations
-//! onto concrete systems. Adding a backend is a registry entry, not a
+//! capability match: engines implementing the requested system form the
+//! *explicit* partition and always outrank capability fallbacks. Within
+//! each partition the order is decided by the request's
+//! [`RoutingPolicy`]: first-capable keeps registration order (the
+//! historical behaviour, mirroring BigOP-style automatic mapping of
+//! abstract operations onto concrete systems), while the cost and
+//! adaptive policies hand the candidates to the [`crate::planner`]
+//! router, which ranks them by predicted cost (static model,
+//! engine-reported plan costs, and — adaptively — runtimes observed
+//! earlier in the run). Adding a backend is a registry entry, not a
 //! pipeline edit.
 //!
 //! Dispatch comes in two strengths: [`EngineRegistry::dispatch`] runs the
@@ -21,7 +27,9 @@
 //! degradation in the run trace.
 
 use crate::config::SystemConfig;
+use crate::cost::ObservedCosts;
 use crate::fault::{self, FaultSite, Resilience};
+use crate::planner::{Ranked, Router, RoutingPolicy, Score};
 use crate::trace::RunTrace;
 use bdb_common::record::Table;
 use bdb_common::text::{Document, Vocabulary};
@@ -37,6 +45,7 @@ use bdb_workloads::{
     micro, oltp, search, social, streaming, OutputPayload, WorkloadCategory, WorkloadResult,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The shape of a prescription's workload pattern.
@@ -205,6 +214,8 @@ pub struct ExecutionRequest<'a> {
     pub config: &'a SystemConfig,
     /// The run's structured event sink.
     pub trace: &'a RunTrace,
+    /// How the registry orders capable candidates for this request.
+    pub routing: RoutingPolicy,
 }
 
 impl ExecutionRequest<'_> {
@@ -255,6 +266,13 @@ pub trait Engine: Send + Sync {
 
     /// Execute a prescribed test.
     fn execute(&self, request: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>>;
+
+    /// The engine's own cost estimate for this request, in estimated
+    /// microseconds — e.g. the SQL engine prices its memo-extracted plan.
+    /// `None` (the default) defers to the router's static cost table.
+    fn estimate_cost(&self, _request: &ExecutionRequest<'_>) -> Option<f64> {
+        None
+    }
 }
 
 /// The outcome of routing a request through the registry.
@@ -269,13 +287,16 @@ pub struct Routing {
 
 /// The Execution Layer's table of registered engines.
 ///
-/// Routing policy: the first registered engine that both *implements the
-/// requested system* and *supports the test profile* wins; failing that,
-/// the first engine that supports the profile takes the test. When no
+/// Routing: engines that both *implement the requested system* and
+/// *support the test profile* outrank engines that merely support the
+/// profile; within each partition the request's [`RoutingPolicy`] decides
+/// — registration order under first-capable, predicted cost (ties keep
+/// registration order) under the cost and adaptive policies. When no
 /// engine is capable the error lists every candidate with its
 /// capabilities.
 pub struct EngineRegistry {
     engines: Vec<Box<dyn Engine>>,
+    router: Router,
 }
 
 impl std::fmt::Debug for EngineRegistry {
@@ -293,7 +314,7 @@ impl Default for EngineRegistry {
 impl EngineRegistry {
     /// An empty registry.
     pub fn new() -> Self {
-        Self { engines: Vec::new() }
+        Self { engines: Vec::new(), router: Router::new() }
     }
 
     /// The five built-in backends. Registration order is the capability
@@ -324,10 +345,32 @@ impl EngineRegistry {
         self.engines.iter().map(Box::as_ref)
     }
 
-    /// Every engine capable of executing a request, in failover order:
-    /// engines implementing the requested system first (registration order
-    /// breaks ties), then the remaining capable engines.
-    pub fn route_all(&self, request: &ExecutionRequest<'_>) -> Result<Vec<(&dyn Engine, Routing)>> {
+    /// The router scoring candidates for this registry.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Share an observed-cost store with this registry's router (e.g.
+    /// one store across every cell of a matrix sweep).
+    pub fn set_observed(&mut self, store: Arc<ObservedCosts>) {
+        self.router.set_observed(store);
+    }
+
+    /// The observed-runtime store the router consults under the adaptive
+    /// policy.
+    pub fn observed(&self) -> Arc<ObservedCosts> {
+        self.router.observed()
+    }
+
+    /// The single capability-matching pass every routing entry point
+    /// shares: the engines that support the request's profile, split into
+    /// the explicit partition (implementing the requested system) and the
+    /// capability fallbacks, each in registration order. Failover and
+    /// cost ranking both consume this candidate order.
+    fn capable_candidates(
+        &self,
+        request: &ExecutionRequest<'_>,
+    ) -> Result<Vec<(&dyn Engine, Routing)>> {
         let profile = request.profile();
         let capable: Vec<&dyn Engine> = self
             .engines
@@ -371,6 +414,74 @@ impl EngineRegistry {
             .collect())
     }
 
+    /// Capable candidates in the order the active policy dispatches them,
+    /// with their cost scores.
+    fn ranked_candidates(&self, request: &ExecutionRequest<'_>) -> Result<Vec<Ranked<'_>>> {
+        Ok(self.router.rank(self.capable_candidates(request)?, request))
+    }
+
+    /// Record the cost-ranked routing decision in the trace (a no-op
+    /// under the default first-capable policy, whose order is static).
+    fn record_routing_decision(&self, request: &ExecutionRequest<'_>, ranked: &[Ranked<'_>]) {
+        if request.routing == RoutingPolicy::FirstCapable || ranked.is_empty() {
+            return;
+        }
+        let finite = |s: &Score| {
+            if s.predicted_micros.is_finite() { s.predicted_micros } else { 0.0 }
+        };
+        request.trace.record(crate::trace::TraceEvent::RoutingDecision {
+            prescription: request.prescription.name.clone(),
+            policy: request.routing.to_string(),
+            engine: ranked[0].routing.engine.clone(),
+            predicted_micros: finite(&ranked[0].score),
+            source: ranked[0].score.source.to_string(),
+            rejected: ranked[1..]
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}@{:.1}us[{}]",
+                        r.routing.engine, r.score.predicted_micros, r.score.source
+                    )
+                })
+                .collect(),
+        });
+    }
+
+    /// Fold an observed engine runtime into the router's store and record
+    /// it in the trace (skipped under first-capable, which never consults
+    /// the store).
+    fn record_observed_cost(
+        &self,
+        request: &ExecutionRequest<'_>,
+        engine: &str,
+        micros: u64,
+    ) {
+        if request.routing == RoutingPolicy::FirstCapable {
+            return;
+        }
+        let (key, entry) = self.router.observe(engine, request, micros as f64);
+        request.trace.record(crate::trace::TraceEvent::CostObserved {
+            prescription: request.prescription.name.clone(),
+            engine: engine.to_string(),
+            key,
+            micros,
+            ewma_micros: entry.ewma_micros,
+            samples: entry.samples,
+        });
+    }
+
+    /// Every engine capable of executing a request, in dispatch order:
+    /// the explicit partition first, each partition ordered by the
+    /// request's routing policy (registration order under first-capable,
+    /// predicted cost otherwise). Failover walks this same order.
+    pub fn route_all(&self, request: &ExecutionRequest<'_>) -> Result<Vec<(&dyn Engine, Routing)>> {
+        Ok(self
+            .ranked_candidates(request)?
+            .into_iter()
+            .map(|r| (r.engine, r.routing))
+            .collect())
+    }
+
     /// Pick the engine for a request without executing it.
     pub fn route(&self, request: &ExecutionRequest<'_>) -> Result<(&dyn Engine, Routing)> {
         Ok(self.route_all(request)?.remove(0))
@@ -380,15 +491,16 @@ impl EngineRegistry {
     /// execute it once — no retries, no failover. Prefer
     /// [`dispatch_resilient`](Self::dispatch_resilient) for runs.
     pub fn dispatch(&self, request: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
-        let (engine, routing) = self.route(request)?;
+        let ranked = self.ranked_candidates(request)?;
         request.trace.record(crate::trace::TraceEvent::EngineDispatched {
             prescription: request.prescription.name.clone(),
-            engine: routing.engine.clone(),
+            engine: ranked[0].routing.engine.clone(),
             requested_system: request.system.to_string(),
-            explicit: routing.explicit,
+            explicit: ranked[0].routing.explicit,
             candidates: self.names().iter().map(|n| n.to_string()).collect(),
         });
-        engine.execute(request)
+        self.record_routing_decision(request, &ranked);
+        ranked[0].engine.execute(request)
     }
 
     /// Resilient dispatch: route the request, run the chosen engine under
@@ -402,30 +514,33 @@ impl EngineRegistry {
         request: &ExecutionRequest<'_>,
         resilience: &Resilience,
     ) -> Result<Vec<WorkloadResult>> {
-        let candidates = self.route_all(request)?;
+        let candidates = self.ranked_candidates(request)?;
         // The primary routing decision is recorded exactly as plain
         // dispatch records it; failover events then narrate re-routes.
         request.trace.record(crate::trace::TraceEvent::EngineDispatched {
             prescription: request.prescription.name.clone(),
-            engine: candidates[0].1.engine.clone(),
+            engine: candidates[0].routing.engine.clone(),
             requested_system: request.system.to_string(),
-            explicit: candidates[0].1.explicit,
+            explicit: candidates[0].routing.explicit,
             candidates: self.names().iter().map(|n| n.to_string()).collect(),
         });
+        self.record_routing_decision(request, &candidates);
         let started = Instant::now();
         let mut total_attempts = 0u32;
         let mut total_faults = 0u32;
         let mut last_error = None;
-        for (idx, (engine, routing)) in candidates.iter().enumerate() {
+        for (idx, candidate) in candidates.iter().enumerate() {
+            let engine = candidate.engine;
             if idx > 0 {
                 request.trace.record(crate::trace::TraceEvent::EngineFailedOver {
                     prescription: request.prescription.name.clone(),
-                    from: candidates[idx - 1].1.engine.clone(),
-                    to: routing.engine.clone(),
+                    from: candidates[idx - 1].routing.engine.clone(),
+                    to: candidate.routing.engine.clone(),
                     attempts: total_attempts,
                 });
             }
             let site = FaultSite::execution(engine.name(), &request.prescription.name);
+            let engine_started = Instant::now();
             let outcome = fault::run_with_recovery(
                 resilience,
                 request.trace,
@@ -435,6 +550,14 @@ impl EngineRegistry {
             );
             match outcome {
                 Ok(recovered) => {
+                    // Feed the adaptive loop: what this engine actually
+                    // took (including any injected faults and retries it
+                    // absorbed) becomes its next predicted cost.
+                    self.record_observed_cost(
+                        request,
+                        engine.name(),
+                        engine_started.elapsed().as_micros() as u64,
+                    );
                     total_attempts += recovered.attempts;
                     total_faults += recovered.faults;
                     let degraded = idx > 0 || total_attempts > 1 || total_faults > 0;
@@ -833,6 +956,24 @@ impl Engine for SqlEngine {
     fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
         execute_table_binding(&SqlBinding, "sql", req)
     }
+
+    /// The cost of the memo-extracted plans the binding would execute:
+    /// the SQL engine reports its optimizer's own estimate to the router
+    /// instead of relying on the static table.
+    fn estimate_cost(&self, req: &ExecutionRequest<'_>) -> Option<f64> {
+        let tables: BTreeMap<String, Table> = req
+            .datasets
+            .iter()
+            .filter_map(|(k, v)| match v {
+                Dataset::Table(t) => Some((k.clone(), t.clone())),
+                _ => None,
+            })
+            .collect();
+        if tables.is_empty() {
+            return None;
+        }
+        SqlBinding::estimate_cost(&req.prescription.pattern, &tables)
+    }
 }
 
 /// The key-value engine (`bdb-kv`): element-operation mixes run as a
@@ -1061,8 +1202,123 @@ mod tests {
             datasets: &datasets,
             config: &config,
             trace: &trace,
+            routing: RoutingPolicy::FirstCapable,
         };
         let err = registry.dispatch(&req).unwrap_err();
         assert!(err.to_string().contains("none registered"), "{err}");
+    }
+
+    /// A capable fake relational engine with a fixed self-reported cost.
+    struct PricedEngine {
+        name: &'static str,
+        system: SystemKind,
+        cost: f64,
+    }
+
+    impl Engine for PricedEngine {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                systems: vec![self.system],
+                classes: vec![WorkloadClass::Relational],
+                data_kinds: vec![DataSourceKind::Table],
+                patterns: vec![PatternShape::Single, PatternShape::Multi],
+            }
+        }
+
+        fn execute(&self, _req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+            Err(BdbError::Execution("priced fake does not execute".into()))
+        }
+
+        fn estimate_cost(&self, _req: &ExecutionRequest<'_>) -> Option<f64> {
+            Some(self.cost)
+        }
+    }
+
+    fn priced_registry(costs: &[(&'static str, SystemKind, f64)]) -> EngineRegistry {
+        let mut r = EngineRegistry::new();
+        for (name, system, cost) in costs {
+            r.register(Box::new(PricedEngine { name, system: *system, cost: *cost }));
+        }
+        r
+    }
+
+    fn route_names(registry: &EngineRegistry, routing: RoutingPolicy) -> Vec<String> {
+        let p = prescription("micro/sort");
+        let datasets = BTreeMap::new();
+        let config = SystemConfig::default();
+        let trace = RunTrace::new();
+        let req = ExecutionRequest {
+            prescription: &p,
+            system: SystemKind::Sql,
+            seed: 1,
+            scale: 100,
+            datasets: &datasets,
+            config: &config,
+            trace: &trace,
+            routing,
+        };
+        registry
+            .route_all(&req)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r.engine)
+            .collect()
+    }
+
+    #[test]
+    fn cost_policy_reorders_within_a_partition() {
+        // Both fakes implement the requested system; the cheaper one wins
+        // under cost routing despite registering second, while
+        // first-capable keeps registration order.
+        let registry = priced_registry(&[
+            ("pricey", SystemKind::Sql, 900.0),
+            ("bargain", SystemKind::Sql, 10.0),
+        ]);
+        assert_eq!(route_names(&registry, RoutingPolicy::FirstCapable), vec!["pricey", "bargain"]);
+        assert_eq!(route_names(&registry, RoutingPolicy::Cost), vec!["bargain", "pricey"]);
+    }
+
+    #[test]
+    fn explicit_pin_outranks_cheaper_fallback() {
+        // The engine implementing the requested system wins even when a
+        // capability fallback predicts a far lower cost.
+        let registry = priced_registry(&[
+            ("cheap-fallback", SystemKind::MapReduce, 1.0),
+            ("pinned", SystemKind::Sql, 5_000.0),
+        ]);
+        assert_eq!(
+            route_names(&registry, RoutingPolicy::Cost),
+            vec!["pinned", "cheap-fallback"]
+        );
+    }
+
+    proptest::proptest! {
+        /// Whatever the candidate costs, cost routing always dispatches a
+        /// capable engine whose predicted cost is minimal within the
+        /// leading partition, and ties keep registration order.
+        #[test]
+        fn router_picks_minimal_cost_capable_engine(
+            costs in proptest::collection::vec(0u32..10_000, 1..6)
+        ) {
+            static NAMES: [&str; 6] = ["e0", "e1", "e2", "e3", "e4", "e5"];
+            let registry = priced_registry(
+                &costs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (NAMES[i], SystemKind::Sql, f64::from(*c)))
+                    .collect::<Vec<_>>(),
+            );
+            let order = route_names(&registry, RoutingPolicy::Cost);
+            let min = costs.iter().copied().min().unwrap();
+            // The winner carries the minimal cost; among minimal-cost
+            // candidates the earliest-registered wins.
+            let first_min = costs.iter().position(|c| *c == min).unwrap();
+            proptest::prop_assert_eq!(&order[0], NAMES[first_min]);
+            proptest::prop_assert_eq!(order.len(), costs.len());
+        }
     }
 }

@@ -26,27 +26,38 @@
 //!   trait with declared [`engine::Capabilities`], five builtin engine
 //!   implementations (native, sql, kv, streaming, mapreduce) and a
 //!   capability-routing [`engine::EngineRegistry`].
+//! * [`cost`] — the dispatch cost model: static per-engine cost functions
+//!   over (class × data kind × scale) and the EWMA observed-runtime store
+//!   the adaptive router learns from.
+//! * [`planner`] — the cost-based router: scores `route_all` candidates
+//!   and re-orders each routing partition by predicted cost under
+//!   `--routing cost|adaptive`.
 //! * [`trace`] — structured phase/dispatch/operation tracing for one run.
 
 pub mod analyzer;
 pub mod config;
 pub mod convert;
+pub mod cost;
 pub mod engine;
 pub mod fault;
 pub mod journal;
 pub mod loadgen;
+pub mod planner;
 pub mod reporter;
 pub mod trace;
 
 pub use analyzer::{
     compare, find_crossover, Comparison, ConformanceSummary, LoadSummary, RecoverySummary,
+    RoutingSummary,
 };
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;
+pub use cost::{CostFn, ObservedCosts, StaticCostModel};
 pub use engine::{
     Capabilities, Engine, EngineRegistry, ExecutionRequest, PatternShape, Routing, TestProfile,
     WorkloadClass,
 };
+pub use planner::{CostSource, Ranked, Router, RoutingPolicy, Score};
 pub use fault::{FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultSite, Resilience, RetryPolicy};
 pub use journal::{CellCheckpoint, RunJournal};
 pub use loadgen::{LoadArrival, LoadProfile, LoadReport};

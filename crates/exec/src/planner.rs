@@ -1,0 +1,239 @@
+//! Cost-based routing across engines: the dispatch-side planner.
+//!
+//! [`Router`] scores every capable candidate the registry produces for a
+//! request and re-orders each routing partition by predicted cost. The
+//! explicit `system=` pin still wins as a *partition* — engines
+//! implementing the requested system are ranked among themselves and all
+//! of them outrank capability fallbacks — and ties keep registration
+//! order, so the default first-capable behaviour (and every committed
+//! golden) is unchanged unless a cheaper candidate actually exists.
+//!
+//! Three policies ([`RoutingPolicy`], the CLI's `--routing` flag):
+//!
+//! * `first-capable` — the historical behaviour: no scoring, the first
+//!   registered capable engine in each partition wins.
+//! * `cost` — rank by the static cost model, preferring a cost the
+//!   engine reports for its own chosen plan (the SQL engine prices its
+//!   memo-extracted plan) over the table's estimate.
+//! * `adaptive` — like `cost`, but runtimes observed earlier in the run
+//!   (EWMA per cost-model key, [`ObservedCosts`]) outrank both, so
+//!   repeated cells migrate to the empirically fastest engine.
+
+use crate::cost::{cost_key, CostModel, ObservedCosts, StaticCostModel};
+use crate::engine::{Engine, ExecutionRequest, Routing};
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// How the registry orders capable candidates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// First registered capable engine wins (the historical behaviour).
+    #[default]
+    FirstCapable,
+    /// Rank candidates by predicted cost (static table + engine-reported
+    /// plan costs).
+    Cost,
+    /// Rank by cost, preferring observed runtimes over predictions.
+    Adaptive,
+}
+
+impl FromStr for RoutingPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "first-capable" | "first_capable" => Ok(RoutingPolicy::FirstCapable),
+            "cost" => Ok(RoutingPolicy::Cost),
+            "adaptive" => Ok(RoutingPolicy::Adaptive),
+            other => Err(format!(
+                "unknown routing policy '{other}' (expected first-capable, cost or adaptive)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RoutingPolicy::FirstCapable => "first-capable",
+            RoutingPolicy::Cost => "cost",
+            RoutingPolicy::Adaptive => "adaptive",
+        })
+    }
+}
+
+/// Where a candidate's predicted cost came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostSource {
+    /// EWMA of runtimes observed earlier in the run.
+    Observed,
+    /// The engine priced its own chosen plan.
+    Engine,
+    /// The static cost table.
+    Static,
+    /// No prediction available (ranked last in its partition).
+    Unknown,
+}
+
+impl std::fmt::Display for CostSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CostSource::Observed => "observed",
+            CostSource::Engine => "engine",
+            CostSource::Static => "static",
+            CostSource::Unknown => "unknown",
+        })
+    }
+}
+
+/// A candidate's predicted cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Predicted execution cost in estimated microseconds
+    /// ([`f64::INFINITY`] when no source had a prediction).
+    pub predicted_micros: f64,
+    /// Which predictor produced the estimate.
+    pub source: CostSource,
+}
+
+impl Score {
+    fn unknown() -> Self {
+        Score { predicted_micros: f64::INFINITY, source: CostSource::Unknown }
+    }
+}
+
+/// One scored candidate in the router's chosen order.
+pub struct Ranked<'e> {
+    /// The candidate engine.
+    pub engine: &'e dyn Engine,
+    /// Its routing outcome (name + explicit/fallback).
+    pub routing: Routing,
+    /// Its predicted cost under the active policy.
+    pub score: Score,
+}
+
+/// Scores candidates and re-orders routing partitions by predicted cost.
+#[derive(Debug)]
+pub struct Router {
+    model: StaticCostModel,
+    observed: Arc<ObservedCosts>,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router {
+    /// A router over the builtin static cost table with a fresh observed
+    /// store.
+    pub fn new() -> Self {
+        Router {
+            model: StaticCostModel::with_builtins(),
+            observed: Arc::new(ObservedCosts::new()),
+        }
+    }
+
+    /// Share an observed-cost store (e.g. across all cells of a matrix
+    /// sweep) instead of this router's own.
+    pub fn set_observed(&mut self, store: Arc<ObservedCosts>) {
+        self.observed = store;
+    }
+
+    /// The observed-runtime store predictions are drawn from.
+    pub fn observed(&self) -> Arc<ObservedCosts> {
+        Arc::clone(&self.observed)
+    }
+
+    /// The static cost table.
+    pub fn model(&self) -> &StaticCostModel {
+        &self.model
+    }
+
+    /// Predict what `engine` costs for `request` under `policy`.
+    ///
+    /// Source preference: observed EWMA (adaptive only), then the
+    /// engine's own plan cost, then the static table summed over the
+    /// request's data kinds.
+    pub fn score(
+        &self,
+        engine: &dyn Engine,
+        request: &ExecutionRequest<'_>,
+        policy: RoutingPolicy,
+    ) -> Score {
+        if policy == RoutingPolicy::FirstCapable {
+            return Score::unknown();
+        }
+        let profile = request.profile();
+        if policy == RoutingPolicy::Adaptive {
+            let key = cost_key(engine.name(), profile.class, &profile.data_kinds, request.scale);
+            if let Some(e) = self.observed.get(&key) {
+                return Score { predicted_micros: e.ewma_micros, source: CostSource::Observed };
+            }
+        }
+        if let Some(c) = engine.estimate_cost(request) {
+            return Score { predicted_micros: c, source: CostSource::Engine };
+        }
+        let mut total = 0.0;
+        let mut any = false;
+        for kind in &profile.data_kinds {
+            if let Some(c) = self.model.predict(engine.name(), profile.class, *kind, request.scale)
+            {
+                total += c;
+                any = true;
+            }
+        }
+        if any {
+            Score { predicted_micros: total, source: CostSource::Static }
+        } else {
+            Score::unknown()
+        }
+    }
+
+    /// Order candidates for dispatch: within each routing partition
+    /// (explicit first, then fallback) rank by predicted cost, keeping
+    /// registration order on ties. Under `first-capable` the input order
+    /// is returned untouched and nothing is scored.
+    pub fn rank<'e>(
+        &self,
+        candidates: Vec<(&'e dyn Engine, Routing)>,
+        request: &ExecutionRequest<'_>,
+    ) -> Vec<Ranked<'e>> {
+        let policy = request.routing;
+        let mut ranked: Vec<Ranked<'e>> = candidates
+            .into_iter()
+            .map(|(engine, routing)| {
+                let score = self.score(engine, request, policy);
+                Ranked { engine, routing, score }
+            })
+            .collect();
+        if policy != RoutingPolicy::FirstCapable {
+            // Stable sort: the explicit partition stays ahead of the
+            // fallback partition, and registration order breaks ties.
+            ranked.sort_by(|a, b| {
+                b.routing
+                    .explicit
+                    .cmp(&a.routing.explicit)
+                    .then(a.score.predicted_micros.total_cmp(&b.score.predicted_micros))
+            });
+        }
+        ranked
+    }
+
+    /// Fold an observed runtime for `engine` into the store under the
+    /// request's cost-model key; the smoothing factor comes from the
+    /// `routing.ewma_alpha` system-config parameter when set. Returns the
+    /// key and the updated entry.
+    pub fn observe(
+        &self,
+        engine: &str,
+        request: &ExecutionRequest<'_>,
+        micros: f64,
+    ) -> (String, crate::cost::ObservedEntry) {
+        let profile = request.profile();
+        let key = cost_key(engine, profile.class, &profile.data_kinds, request.scale);
+        let entry = self.observed.observe(&key, micros, request.config.routing_ewma_alpha());
+        (key, entry)
+    }
+}

@@ -54,6 +54,11 @@ impl Catalog {
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(String::as_str).collect()
     }
+
+    /// Row count of a registered table — the memo's cardinality source.
+    pub fn row_count(&self, name: &str) -> Option<usize> {
+        self.tables.get(name).map(|t| t.rows().len())
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@
 pub mod catalog;
 pub mod exec;
 pub mod expr;
+pub mod memo;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
@@ -39,6 +40,7 @@ use bdb_common::Result;
 
 pub use catalog::Catalog;
 pub use exec::{ExecStats, Executor};
+pub use memo::{optimize_with_cost, Memo, PlanCost};
 pub use plan::LogicalPlan;
 
 /// The engine facade: a catalog plus the full SQL pipeline.
@@ -73,11 +75,10 @@ impl Engine {
         &mut self.catalog
     }
 
-    /// Parse, plan, optimise and execute a SQL query.
+    /// Parse, plan, optimise (via the cost-ranked memo) and execute a
+    /// SQL query.
     pub fn sql(&mut self, query: &str) -> Result<Table> {
-        let stmt = parser::parse(query)?;
-        let plan = plan::build_logical_plan(stmt, &self.catalog)?;
-        let plan = optimizer::optimize(plan);
+        let (plan, _) = self.plan_with_cost(query)?;
         let mut exec = Executor::new(&self.catalog);
         let out = exec.run(&plan)?;
         self.stats.merge(exec.stats());
@@ -86,9 +87,15 @@ impl Engine {
 
     /// Plan a query without executing it (for inspection and tests).
     pub fn plan(&self, query: &str) -> Result<LogicalPlan> {
+        Ok(self.plan_with_cost(query)?.0)
+    }
+
+    /// Plan a query and return the memo-extracted plan with its
+    /// estimated cost — what the engine reports to the dispatch router.
+    pub fn plan_with_cost(&self, query: &str) -> Result<(LogicalPlan, PlanCost)> {
         let stmt = parser::parse(query)?;
         let plan = plan::build_logical_plan(stmt, &self.catalog)?;
-        Ok(optimizer::optimize(plan))
+        Ok(memo::optimize_with_cost(plan, &self.catalog))
     }
 
     /// Cumulative execution statistics across all queries run so far —

@@ -1,7 +1,8 @@
 //! The `bdbench` command-line interface.
 //!
 //! ```text
-//! bdbench list                         # prescriptions, generators, engines, suites
+//! bdbench list [--costs]               # prescriptions, generators, engines, suites
+//!                                      # --costs: the static routing cost table
 //! bdbench run <prescription> [opts]    # the five-step pipeline
 //!     --system <native|mapreduce|sql|kv|streaming>
 //!     --scale <items>  --seed <n>  --workers <n>  --rate <items/sec>
@@ -11,8 +12,12 @@
 //!     --deadline-ms <n>                # per-operation wall-clock deadline
 //!     --verify[=strict|digest|update]  # differential conformance check
 //!     --goldens <dir>                  # explicit golden-store directory
+//!     --routing <first-capable|cost|adaptive>  # engine dispatch policy
 //! bdbench verify [--scale n] [--seed n] [--mode M] [--goldens dir]
-//!                                      # sweep prescriptions × engines
+//!                [--routing P] [--passes n]
+//!                                      # sweep prescriptions × engines;
+//!                                      # --passes > 1 reruns the sweep sharing
+//!                                      # observed costs across passes
 //! bdbench load [opts]                  # concurrent load driver
 //!     --clients <n>  --inflight <m>    # N sessions × M in-flight lanes
 //!     --duration-ms <n>  --seed <n>
@@ -27,8 +32,10 @@
 
 use bdbench::core::layers::BenchmarkSpec;
 use bdbench::exec::loadgen::{LoadArrival, LoadProfile};
-use bdbench::core::matrix::{verify_matrix_with, MatrixDurability};
+use bdbench::core::matrix::{verify_matrix_routed, MatrixDurability, MatrixRouting};
+use bdbench::exec::cost::StaticCostModel;
 use bdbench::exec::fault::FaultPlan;
+use bdbench::exec::planner::RoutingPolicy;
 use bdbench::exec::journal::{CellCheckpoint, RunJournal};
 use bdbench::core::pipeline::Benchmark;
 use bdbench::core::registry::GeneratorRegistry;
@@ -41,7 +48,7 @@ use bdbench::verify::VerifyMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC]\n  bdbench load [--clients N] [--inflight M] [--duration-ms D] [--arrival closed|poisson:R|uniform:R] [--engine NAME]... [--seed N] [--queue-cap N] [--sample-every N] [--trace PATH|-]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
+        "usage:\n  bdbench list [--costs]\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR] [--routing first-capable|cost|adaptive]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC] [--routing P] [--passes N]\n  bdbench load [--clients N] [--inflight M] [--duration-ms D] [--arrival closed|poisson:R|uniform:R] [--engine NAME]... [--seed N] [--queue-cap N] [--sample-every N] [--trace PATH|-]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
     );
     std::process::exit(2)
 }
@@ -106,7 +113,7 @@ fn main() {
     let Some(command) = args.first() else { usage() };
     let rest = &args[1..];
     let result = match command.as_str() {
-        "list" => cmd_list(),
+        "list" => cmd_list(rest),
         "run" => cmd_run(rest),
         "verify" => cmd_verify(rest),
         "load" => cmd_load(rest),
@@ -121,7 +128,15 @@ fn main() {
     }
 }
 
-fn cmd_list() -> bdbench::common::Result<()> {
+fn cmd_list(args: &[String]) -> bdbench::common::Result<()> {
+    let (positional, opts) = parse_opts(args, &["costs"], &["costs"]);
+    if !positional.is_empty() {
+        eprintln!("bdbench list takes no positional arguments");
+        usage();
+    }
+    if opts.contains_key("costs") {
+        return list_costs();
+    }
     let repo = PrescriptionRepository::with_builtins();
     println!("prescriptions:");
     for name in repo.names() {
@@ -143,6 +158,43 @@ fn cmd_list() -> bdbench::common::Result<()> {
     Ok(())
 }
 
+/// `bdbench list --costs`: the static routing cost table — one row per
+/// (engine, operation class, data kind) curve — plus which engine the
+/// table predicts cheapest for each covered profile at three scales.
+fn list_costs() -> bdbench::common::Result<()> {
+    use bdbench::exec::reporter::TableReporter;
+    let model = StaticCostModel::with_builtins();
+    let mut t = TableReporter::new(
+        "Static dispatch costs (us ~ startup + per_item*n + log_factor*n*log2 n)",
+        &["engine", "class", "kind", "startup", "per_item", "log_factor"],
+    );
+    for (engine, class, kind, f) in model.entries() {
+        t.add_row(&[
+            engine.to_string(),
+            class.to_string(),
+            kind.to_string(),
+            format!("{:.1}", f.startup),
+            format!("{:.2}", f.per_item),
+            format!("{:.2}", f.log_factor),
+        ]);
+    }
+    println!("{}", t.to_text());
+    let mut w = TableReporter::new(
+        "Predicted winner by scale",
+        &["class", "kind", "n=1", "n=10", "n=100"],
+    );
+    for (class, kind) in model.covered_profiles() {
+        let win = |scale: u64| {
+            model
+                .winner(class, kind, scale)
+                .map_or_else(|| "-".to_string(), |(e, c)| format!("{e} ({c:.0} us)"))
+        };
+        w.add_row(&[class.to_string(), kind.to_string(), win(1), win(10), win(100)]);
+    }
+    println!("{}", w.to_text());
+    Ok(())
+}
+
 fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
     let (positional, opts) = parse_opts(
         args,
@@ -158,6 +210,7 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
             "deadline-ms",
             "verify",
             "goldens",
+            "routing",
         ],
         &["verify"],
     );
@@ -208,6 +261,9 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
     if let Some(dir) = opts.get("goldens") {
         spec = spec.with_goldens_dir(dir);
     }
+    if let Some(routing) = opts.get("routing") {
+        spec = spec.with_routing(parse_routing(routing)?);
+    }
     let run = Benchmark::new().run(&spec)?;
     println!("== phases ==");
     for phase in &run.phases {
@@ -252,10 +308,16 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
     Ok(())
 }
 
+/// Parse a `--routing` value, mapping the policy's own error text into
+/// the CLI's configuration error.
+fn parse_routing(value: &str) -> bdbench::common::Result<RoutingPolicy> {
+    value.parse::<RoutingPolicy>().map_err(bdbench::common::BdbError::InvalidConfig)
+}
+
 fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
     let (_, opts) = parse_opts(
         args,
-        &["scale", "seed", "mode", "goldens", "journal", "resume", "faults"],
+        &["scale", "seed", "mode", "goldens", "journal", "resume", "faults", "routing", "passes"],
         &[],
     );
     let mode = opts.get("mode").map_or(Ok(VerifyMode::Strict), |m| m.parse::<VerifyMode>())?;
@@ -269,20 +331,42 @@ fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
         .map(RunJournal::open)
         .transpose()?;
     let faults = opts.get("faults").map(|s| s.parse::<FaultPlan>()).transpose()?;
-    let report = verify_matrix_with(
-        opt_u64(&opts, "scale", 300),
-        opt_u64(&opts, "seed", 42),
-        mode,
-        opts.get("goldens").map(String::as_str),
-        &MatrixDurability { journal: journal.as_ref(), faults: faults.as_ref() },
-    )?;
-    println!("{}", report.render());
-    if report.all_passed() {
+    let routing = MatrixRouting::with_policy(
+        opts.get("routing").map_or(Ok(RoutingPolicy::default()), |r| parse_routing(r))?,
+    );
+    let passes = opt_u64(&opts, "passes", 1).max(1);
+    let mut diverged = 0usize;
+    for pass in 1..=passes {
+        // The journal's resume granularity is one sweep, so only the
+        // first pass journals; later passes re-execute every cell — the
+        // point of a multi-pass run is re-routing on observed costs, and
+        // `routing` (with its shared EWMA store) carries across passes.
+        let durability = if pass == 1 {
+            MatrixDurability { journal: journal.as_ref(), faults: faults.as_ref() }
+        } else {
+            MatrixDurability::default()
+        };
+        let report = verify_matrix_routed(
+            opt_u64(&opts, "scale", 300),
+            opt_u64(&opts, "seed", 42),
+            mode,
+            opts.get("goldens").map(String::as_str),
+            &durability,
+            &routing,
+        )?;
+        if passes > 1 {
+            println!("== pass {pass}/{passes} ==");
+        }
+        println!("{}", report.render());
+        if !report.all_passed() {
+            diverged += report.failed_cells().len();
+        }
+    }
+    if diverged == 0 {
         Ok(())
     } else {
         Err(bdbench::common::BdbError::Execution(format!(
-            "verification matrix diverged in {} cell(s)",
-            report.failed_cells().len()
+            "verification matrix diverged in {diverged} cell(s)"
         )))
     }
 }
