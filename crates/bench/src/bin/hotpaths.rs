@@ -3,16 +3,17 @@
 //! Unlike the Criterion benches (which regenerate paper artifacts), this
 //! binary measures the load-bearing code paths with plain wall-clock
 //! timing and emits one machine-readable JSON report — the
-//! perf-regression gate CI archives as `BENCH_6.json`:
+//! perf-regression gate CI archives as `BENCH_8.json`:
 //!
 //! 1. parallel data generation throughput (items/s),
 //! 2. engine dispatch (capability routing) latency,
 //! 3. the streaming window pipeline (events/s),
-//! 4. LSM put and get throughput (ops/s),
-//! 5. loadgen saturation: closed-loop concurrent-driver throughput and
-//!    p99 latency per engine (kv, sql, native).
+//! 4. the behavioral sessionize kernel (events/s),
+//! 5. LSM put and get throughput (ops/s),
+//! 6. loadgen saturation: closed-loop concurrent-driver throughput and
+//!    p99 latency per engine (kv, sql, native, streaming).
 //!
-//! Usage: `hotpaths [OUT.json]` (default `BENCH_6.json`).
+//! Usage: `hotpaths [OUT.json]` (default `BENCH_8.json`).
 
 use bdb_core::registry::GeneratorRegistry;
 use bdb_datagen::volume::VolumeSpec;
@@ -24,6 +25,7 @@ use bdb_exec::loadgen::{self, LoadProfile};
 use bdb_exec::trace::RunTrace;
 use bdb_kv::lsm::LsmStore;
 use bdb_testgen::{PrescriptionRepository, SystemKind};
+use bdb_workloads::behavioral::{run_behavioral, BehavioralSpec};
 use bdb_workloads::streaming::{windowed_aggregation, StreamAnalyticsConfig};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -129,6 +131,20 @@ fn bench_window_pipeline(events: u64) -> Sample {
     Sample::plain("window_pipeline_events", n, secs)
 }
 
+fn bench_behavioral(events: u64) -> Sample {
+    let generator = GeneratorRegistry::with_builtins()
+        .build("behavioral/events")
+        .expect("builtin generator");
+    let dataset = generator
+        .generate_parallel(SEED, &VolumeSpec::Items(events), 4)
+        .expect("generation");
+    let Dataset::Stream(evts) = dataset else { panic!("behavioral/events yields a stream") };
+    let spec = BehavioralSpec::Sessionize { gap_ms: 10_000 };
+    let (outcome, secs) = time(|| run_behavioral(&evts, &spec));
+    assert_eq!(outcome.events, events);
+    Sample::plain("behavioral_sessionize_events", events, secs)
+}
+
 fn bench_lsm(ops: u64) -> (Sample, Sample) {
     let mut store = LsmStore::default();
     let (_, put_secs) = time(|| {
@@ -175,6 +191,7 @@ fn bench_loadgen(duration_ms: u64) -> Vec<Sample> {
                 "kv" => "loadgen_saturation_kv",
                 "sql" => "loadgen_saturation_sql",
                 "native" => "loadgen_saturation_native",
+                "streaming" => "loadgen_saturation_streaming",
                 other => panic!("unexpected engine {other}"),
             };
             Sample { name, units: r.completed, secs: r.duration_secs, p99_us: Some(r.p99_us) }
@@ -183,13 +200,14 @@ fn bench_loadgen(duration_ms: u64) -> Vec<Sample> {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_6.json".to_string());
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_8.json".to_string());
     let (dispatch, _datasets) = bench_dispatch(10_000);
     let (lsm_put, lsm_get) = bench_lsm(50_000);
     let mut samples = vec![
         bench_datagen(200_000),
         dispatch,
         bench_window_pipeline(200_000),
+        bench_behavioral(200_000),
         lsm_put,
         lsm_get,
     ];

@@ -101,8 +101,13 @@ impl Histogram {
     }
 
     /// Approximate quantile via linear interpolation within the bucket.
-    /// `quantile(0.0)` is exact: it returns the smallest recorded sample
-    /// rather than a bucket midpoint.
+    /// Both endpoints are exact: `quantile(0.0)` returns the smallest
+    /// recorded sample and `quantile(1.0)` the largest, rather than a
+    /// bucket edge that may overshoot the data. Interior estimates are
+    /// clamped to the recorded `[min, max]` (interpolation inside the
+    /// first/last occupied bucket would otherwise overshoot both), and an
+    /// empty target bucket resolves to its left edge rather than its
+    /// midpoint — together these keep the estimate monotonic in `q`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.count == 0 {
@@ -111,6 +116,9 @@ impl Histogram {
         if q == 0.0 {
             return self.min;
         }
+        if q == 1.0 {
+            return self.max;
+        }
         let target = q * self.count as f64;
         let mut acc = 0u64;
         let width = (self.hi - self.lo) / self.buckets.len() as f64;
@@ -118,15 +126,16 @@ impl Histogram {
             let next = acc + c;
             if next as f64 >= target {
                 let within = if c == 0 {
-                    0.5
+                    0.0
                 } else {
                     (target - acc as f64) / c as f64
                 };
-                return self.lo + (i as f64 + within) * width;
+                let estimate = self.lo + (i as f64 + within) * width;
+                return estimate.clamp(self.min, self.max);
             }
             acc = next;
         }
-        self.hi
+        self.max
     }
 
     /// Merge another histogram's samples into this one.
@@ -306,6 +315,69 @@ mod tests {
         let mut g = Histogram::with_bounds(0.0, 100.0, 10);
         g.record(9.9);
         assert_eq!(g.quantile(0.0), 9.9);
+    }
+
+    #[test]
+    fn one_quantile_is_the_maximum_not_a_bucket_edge() {
+        // Regression: quantile(1.0) used to interpolate to the right edge
+        // of the last occupied bucket — here 80.0, above the recorded max
+        // of 73.0.
+        let mut h = Histogram::with_bounds(0.0, 100.0, 10);
+        h.record(73.0);
+        assert_eq!(h.quantile(1.0), 73.0);
+        // Overshoot also occurred with several samples in one bucket.
+        let mut g = Histogram::with_bounds(0.0, 100.0, 10);
+        g.record(41.0);
+        g.record(42.0);
+        g.record(44.0);
+        assert_eq!(g.quantile(1.0), 44.0);
+        assert!(g.quantile(0.99) <= g.quantile(1.0));
+    }
+
+    #[test]
+    fn sparse_histogram_quantiles_are_monotonic_and_bounded() {
+        // Regression: with a long run of empty buckets between two
+        // occupied ones, interpolation could overshoot the recorded max
+        // (and midpoint resolution of an empty target bucket could exceed
+        // estimates for larger q). Every estimate must stay within the
+        // recorded [min, max] and be monotonic in q.
+        let mut h = Histogram::with_bounds(0.0, 100.0, 10);
+        h.record(5.0);
+        h.record(95.0);
+        let mut prev = h.quantile(0.0);
+        for q in 1..=100 {
+            let cur = h.quantile(f64::from(q) / 100.0);
+            assert!(prev <= cur, "quantile({}) = {prev} > quantile({q}%) = {cur}", q - 1);
+            assert!((5.0..=95.0).contains(&cur), "quantile({q}%) = {cur} outside the data");
+            prev = cur;
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+        #[test]
+        fn quantiles_are_monotonic_in_q(
+            samples in proptest::collection::vec(0u32..1000, 1..64),
+            qs in proptest::collection::vec(0u32..=100, 2..8),
+        ) {
+            let mut h = Histogram::with_bounds(0.0, 1000.0, 16);
+            for s in &samples {
+                h.record(*s as f64);
+            }
+            let mut qs: Vec<f64> = qs.iter().map(|q| *q as f64 / 100.0).collect();
+            qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for pair in qs.windows(2) {
+                let (lo, hi) = (h.quantile(pair[0]), h.quantile(pair[1]));
+                proptest::prop_assert!(
+                    lo <= hi,
+                    "quantile({}) = {} > quantile({}) = {}",
+                    pair[0], lo, pair[1], hi
+                );
+            }
+            // Endpoints are exact.
+            proptest::prop_assert_eq!(h.quantile(0.0), h.min());
+            proptest::prop_assert_eq!(h.quantile(1.0), h.max());
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! families; applications register their own under new ids.
 
 use bdb_common::{BdbError, Result};
+use bdb_datagen::behavioral::BehavioralEvents;
 use bdb_datagen::corpus::{karate_club_graph, raw_retail_table, RAW_TEXT_CORPUS};
 use bdb_datagen::graph::{fit_rmat, BaGenerator, ErdosRenyiGenerator, RmatGenerator};
 use bdb_datagen::stream::{MmppArrivals, PoissonArrivals};
@@ -71,6 +72,9 @@ impl GeneratorRegistry {
         });
         r.register("stream/mmpp", || {
             Ok(Box::new(MmppArrivals::new(500.0, 4_000.0, 500.0, 64)?))
+        });
+        r.register("behavioral/events", || {
+            Ok(Box::new(BehavioralEvents::new(64, 8, 500, 2_000)?))
         });
         r
     }

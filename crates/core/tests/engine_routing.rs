@@ -72,6 +72,12 @@ fn expected_engine(prescription: &str, system: SystemKind) -> &'static str {
         // Windowed streams only run on the streaming engine.
         "streaming/window-aggregation" => "streaming",
         _ => match domain {
+            // Behavioral-analytics streams: streaming unless MapReduce is
+            // explicitly requested (both engines implement the class).
+            "behavioral" => match system {
+                SystemKind::MapReduce => "mapreduce",
+                _ => "streaming",
+            },
             // Element-operation mixes only run on the KV store.
             "oltp" => "kv",
             // Relational patterns bind to SQL unless MapReduce is requested.

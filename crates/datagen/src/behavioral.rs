@@ -1,0 +1,169 @@
+//! Behavioral event-stream generation: user × action × timestamp.
+//!
+//! [`BehavioralEvents`] generates the clickstream the behavioral
+//! operation class (sessionize / retention / window-funnel /
+//! sequence-match) consumes: each event carries a Zipf-popular user id
+//! (`Event::key`), a uniform action id (`Event::value`) and a timestamp
+//! with **seeded out-of-orderness** — event `i`'s timestamp is
+//! `i * mean_gap_ms` plus a uniform jitter wider than the gap, so
+//! neighbouring events routinely arrive out of event-time order (the
+//! disorder real collection pipelines exhibit) while the stream stays
+//! globally ordered at coarse scale.
+//!
+//! Timestamps are a closed form of the event index, so
+//! [`DataGenerator::generate_shard`] is *exact*: any shard reproduces the
+//! sequential run's events bit-for-bit, with no re-anchor tolerance.
+
+use crate::volume::VolumeSpec;
+use crate::{DataGenerator, DataSourceKind, Dataset};
+use bdb_common::prelude::*;
+use bdb_common::{BdbError, Result};
+
+pub use bdb_common::event::Event;
+
+/// Generates behavioral event streams (user, action, jittered timestamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BehavioralEvents {
+    /// Number of distinct users; user ids are Zipf(0.99)-popular.
+    pub num_users: u64,
+    /// Number of distinct action ids (uniform).
+    pub num_actions: u64,
+    /// Mean spacing between consecutive events in ms.
+    pub mean_gap_ms: u64,
+    /// Uniform timestamp jitter half-width in ms; a jitter wider than
+    /// `mean_gap_ms` yields out-of-order arrival.
+    pub jitter_ms: u64,
+}
+
+impl BehavioralEvents {
+    /// A behavioral event generator.
+    ///
+    /// # Errors
+    /// Fails on zero users, actions, or mean gap.
+    pub fn new(num_users: u64, num_actions: u64, mean_gap_ms: u64, jitter_ms: u64) -> Result<Self> {
+        if num_users == 0 || num_actions == 0 || mean_gap_ms == 0 {
+            return Err(BdbError::InvalidConfig(
+                "behavioral users, actions and gap must be positive".into(),
+            ));
+        }
+        Ok(Self { num_users, num_actions, mean_gap_ms, jitter_ms })
+    }
+
+    /// Generate `n` events.
+    pub fn generate_events(&self, seed: u64, n: u64) -> Vec<Event> {
+        self.generate_events_shard(seed, 0, n)
+    }
+
+    /// Generate events `[offset, offset + n)` of the stream. Every field
+    /// is a function of the event's own [`SeedTree`] cell and index, so
+    /// shards match the sequential run exactly.
+    pub fn generate_events_shard(&self, seed: u64, offset: u64, n: u64) -> Vec<Event> {
+        let tree = SeedTree::new(seed).child_named("behavioral");
+        let users = Zipf::new(self.num_users, 0.99);
+        (offset..offset + n)
+            .map(|i| {
+                let mut rng = tree.cell(i);
+                let user = users.sample(&mut rng);
+                let action = rng.next_bounded(self.num_actions) as f64;
+                let ts = i * self.mean_gap_ms + rng.next_bounded(2 * self.jitter_ms + 1);
+                Event { ts_ms: ts, key: user, value: action }
+            })
+            .collect()
+    }
+}
+
+impl DataGenerator for BehavioralEvents {
+    fn name(&self) -> &str {
+        "behavioral/events"
+    }
+
+    fn kind(&self) -> DataSourceKind {
+        DataSourceKind::Stream
+    }
+
+    fn generate(&self, seed: u64, volume: &VolumeSpec) -> Result<Dataset> {
+        let n = volume.resolve_items(std::mem::size_of::<Event>() as f64, 10_000)?;
+        Ok(Dataset::Stream(self.generate_events(seed, n)))
+    }
+
+    fn plan_items(&self, _seed: u64, volume: &VolumeSpec) -> Result<Option<u64>> {
+        volume
+            .resolve_items(std::mem::size_of::<Event>() as f64, 10_000)
+            .map(Some)
+    }
+
+    fn generate_shard(
+        &self,
+        seed: u64,
+        _volume: &VolumeSpec,
+        offset: u64,
+        len: u64,
+    ) -> Result<Dataset> {
+        Ok(Dataset::Stream(self.generate_events_shard(seed, offset, len)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> BehavioralEvents {
+        BehavioralEvents::new(64, 8, 500, 2_000).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(BehavioralEvents::new(0, 8, 500, 100).is_err());
+        assert!(BehavioralEvents::new(64, 0, 500, 100).is_err());
+        assert!(BehavioralEvents::new(64, 8, 0, 100).is_err());
+    }
+
+    #[test]
+    fn streams_are_seeded_and_deterministic() {
+        let a = gen().generate_events(7, 500);
+        let b = gen().generate_events(7, 500);
+        let c = gen().generate_events(8, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn events_are_out_of_order_but_coarsely_increasing() {
+        let events = gen().generate_events(42, 2_000);
+        let inversions = events.windows(2).filter(|w| w[1].ts_ms < w[0].ts_ms).count();
+        assert!(inversions > 100, "jitter should produce disorder, got {inversions}");
+        // Coarse order: far-apart events never invert (jitter span 4001ms
+        // < 10 gaps of 500ms).
+        assert!(events[0].ts_ms < events[100].ts_ms);
+        assert!(events[1000].ts_ms < events[1100].ts_ms);
+    }
+
+    #[test]
+    fn users_are_zipf_popular_and_actions_in_range() {
+        let events = gen().generate_events(1, 10_000);
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &events {
+            assert!(e.key < 64, "user {}", e.key);
+            assert!((e.value as u64) < 8, "action {}", e.value);
+            *counts.entry(e.key).or_insert(0u64) += 1;
+        }
+        let top = counts.values().max().copied().unwrap();
+        let mean = 10_000 / counts.len() as u64;
+        assert!(top > 3 * mean, "Zipf head should dominate: top {top}, mean {mean}");
+    }
+
+    #[test]
+    fn shards_match_the_sequential_run_exactly() {
+        let g = gen();
+        let full = g.generate_events(9, 1_000);
+        let shard = g.generate_events_shard(9, 400, 300);
+        assert_eq!(shard, full[400..700]);
+        let par = g
+            .generate_parallel(9, &VolumeSpec::Items(1_000), 4)
+            .unwrap();
+        match par {
+            Dataset::Stream(events) => assert_eq!(events, full),
+            other => panic!("expected a stream, got {other:?}"),
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! [`veracity`] implements the Section 5.1 veracity *metrics*: divergence
 //! of raw-vs-model and raw-vs-synthetic distributions per data type.
 
+pub mod behavioral;
 pub mod corpus;
 pub mod graph;
 pub mod stream;

@@ -89,7 +89,7 @@ impl StaticCostModel {
     /// pays framework startup plus shuffle costs everywhere.
     pub fn with_builtins() -> Self {
         use DataSourceKind::{Graph, Stream, Table, Text};
-        use WorkloadClass::{Element, Iterative, Relational, Windowed};
+        use WorkloadClass::{Behavioral, Element, Iterative, Relational, Windowed};
         let mut m = Self::new();
         let native = CostFn { startup: 50.0, per_item: 0.8, log_factor: 0.0 };
         let native_iter = CostFn { startup: 80.0, per_item: 2.5, log_factor: 0.0 };
@@ -100,6 +100,11 @@ impl StaticCostModel {
         m.set("sql", Relational, Table, CostFn { startup: 120.0, per_item: 0.9, log_factor: 0.15 });
         m.set("kv", Element, Table, CostFn { startup: 60.0, per_item: 1.1, log_factor: 0.0 });
         m.set("streaming", Windowed, Stream, CostFn { startup: 90.0, per_item: 0.7, log_factor: 0.0 });
+        // Behavioral analytics: the streaming engine's per-user aggregates
+        // beat the MapReduce lowering's shuffle at every scale; both pay a
+        // small log factor for the finalize-time sorts.
+        m.set("streaming", Behavioral, Stream, CostFn { startup: 100.0, per_item: 0.8, log_factor: 0.05 });
+        m.set("mapreduce", Behavioral, Stream, CostFn { startup: 450.0, per_item: 1.4, log_factor: 0.1 });
         let mr_text = CostFn { startup: 400.0, per_item: 1.2, log_factor: 0.05 };
         let mr_iter = CostFn { startup: 500.0, per_item: 3.5, log_factor: 0.05 };
         let mr_rel = CostFn { startup: 400.0, per_item: 1.5, log_factor: 0.2 };

@@ -42,7 +42,8 @@ use bdb_testgen::ops::{AggSpec, Operation};
 use bdb_testgen::pattern::WorkloadPattern;
 use bdb_testgen::{Prescription, SystemKind};
 use bdb_workloads::{
-    micro, oltp, search, social, streaming, OutputPayload, WorkloadCategory, WorkloadResult,
+    behavioral, micro, oltp, search, social, streaming, OutputPayload, WorkloadCategory,
+    WorkloadResult,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -88,6 +89,9 @@ impl std::fmt::Display for PatternShape {
 /// relational (single/double-set) table operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum WorkloadClass {
+    /// Behavioral analytics over a user event stream (sessionize,
+    /// retention, window-funnel, sequence-match).
+    Behavioral,
     /// Windowed aggregation over an event stream.
     Windowed,
     /// Text kernels (WordCount, grep).
@@ -105,6 +109,17 @@ impl WorkloadClass {
     /// same precedence the Execution Layer uses for routing.
     pub fn of(prescription: &Prescription) -> Self {
         let ops = prescription.pattern.operations();
+        if ops.iter().any(|o| {
+            matches!(
+                o,
+                Operation::Sessionize { .. }
+                    | Operation::Retention { .. }
+                    | Operation::WindowFunnel { .. }
+                    | Operation::SequenceMatch { .. }
+            )
+        }) {
+            return WorkloadClass::Behavioral;
+        }
         if ops.iter().any(|o| matches!(o, Operation::WindowAggregate { .. })) {
             return WorkloadClass::Windowed;
         }
@@ -136,6 +151,7 @@ impl WorkloadClass {
 impl std::fmt::Display for WorkloadClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
+            WorkloadClass::Behavioral => "behavioral",
             WorkloadClass::Windowed => "windowed",
             WorkloadClass::Text => "text",
             WorkloadClass::Iterative => "iterative",
@@ -371,6 +387,11 @@ impl EngineRegistry {
         &self,
         request: &ExecutionRequest<'_>,
     ) -> Result<Vec<(&dyn Engine, Routing)>> {
+        // Validate the routing smoothing factor up front: every dispatch
+        // entry point funnels through here, so a bad `routing.ewma_alpha`
+        // fails loudly before any engine runs instead of corrupting the
+        // observed-cost store after the fact.
+        request.config.routing_ewma_alpha()?;
         let profile = request.profile();
         let capable: Vec<&dyn Engine> = self
             .engines
@@ -890,11 +911,13 @@ impl Engine for MapReduceEngine {
                 WorkloadClass::Text,
                 WorkloadClass::Iterative,
                 WorkloadClass::Relational,
+                WorkloadClass::Behavioral,
             ],
             data_kinds: vec![
                 DataSourceKind::Text,
                 DataSourceKind::Graph,
                 DataSourceKind::Table,
+                DataSourceKind::Stream,
             ],
             patterns: vec![PatternShape::Single, PatternShape::Multi, PatternShape::Iterative],
         }
@@ -927,6 +950,7 @@ impl Engine for MapReduceEngine {
                 "mapreduce",
                 req,
             ),
+            WorkloadClass::Behavioral => execute_behavioral(req, BehavioralBackend::MapReduce),
             other => Err(BdbError::Execution(format!(
                 "mapreduce engine cannot execute {other} workloads"
             ))),
@@ -1065,8 +1089,90 @@ impl Engine for KvEngine {
     }
 }
 
-/// The streaming engine (`bdb-stream`): windowed aggregation over event
-/// streams.
+/// Which binding a behavioral prescription lowers to.
+enum BehavioralBackend {
+    Streaming,
+    MapReduce,
+}
+
+/// Extract the behavioral operation from a prescription's pattern.
+fn behavioral_spec(prescription: &Prescription) -> Result<behavioral::BehavioralSpec> {
+    prescription
+        .pattern
+        .operations()
+        .iter()
+        .find_map(|o| match o {
+            Operation::Sessionize { gap_ms } => {
+                Some(behavioral::BehavioralSpec::Sessionize { gap_ms: *gap_ms })
+            }
+            Operation::Retention { period_ms, periods } => {
+                Some(behavioral::BehavioralSpec::Retention {
+                    period_ms: *period_ms,
+                    periods: *periods,
+                })
+            }
+            Operation::WindowFunnel { window_ms, steps } => {
+                Some(behavioral::BehavioralSpec::WindowFunnel {
+                    window_ms: *window_ms,
+                    steps: steps.clone(),
+                })
+            }
+            Operation::SequenceMatch { steps } => {
+                Some(behavioral::BehavioralSpec::SequenceMatch { steps: steps.clone() })
+            }
+            _ => None,
+        })
+        .ok_or_else(|| {
+            BdbError::Execution("behavioral dispatch needs a behavioral operation".into())
+        })
+}
+
+/// Behavioral dispatch shared by the streaming and MapReduce engines:
+/// both bindings run the same order-insensitive per-user aggregates, so
+/// their row sets are identical (the conformance matrix asserts it).
+fn execute_behavioral(
+    req: &ExecutionRequest<'_>,
+    backend: BehavioralBackend,
+) -> Result<Vec<WorkloadResult>> {
+    let spec = behavioral_spec(req.prescription)?;
+    let events = req
+        .datasets
+        .values()
+        .find_map(|d| match d {
+            Dataset::Stream(e) => Some(e.as_slice()),
+            _ => None,
+        })
+        .ok_or_else(|| {
+            BdbError::Execution("behavioral operations need a stream data set".into())
+        })?;
+    let r = match backend {
+        BehavioralBackend::Streaming => {
+            timed(
+                req,
+                "streaming",
+                spec.name(),
+                || behavioral::behavioral_streaming(events, &spec),
+                |r| r.0.rows.len() as u64,
+            )
+            .1
+        }
+        BehavioralBackend::MapReduce => {
+            let job = req.job_config();
+            timed(
+                req,
+                "mapreduce",
+                spec.name(),
+                || behavioral::behavioral_mapreduce(events, &spec, &job),
+                |r| r.0.rows.len() as u64,
+            )
+            .1
+        }
+    };
+    Ok(vec![r])
+}
+
+/// The streaming engine (`bdb-stream`): windowed aggregation and
+/// behavioral analytics over event streams.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct StreamingEngine;
 
@@ -1078,13 +1184,16 @@ impl Engine for StreamingEngine {
     fn capabilities(&self) -> Capabilities {
         Capabilities {
             systems: vec![SystemKind::Streaming],
-            classes: vec![WorkloadClass::Windowed],
+            classes: vec![WorkloadClass::Windowed, WorkloadClass::Behavioral],
             data_kinds: vec![DataSourceKind::Stream],
             patterns: vec![PatternShape::Single],
         }
     }
 
     fn execute(&self, req: &ExecutionRequest<'_>) -> Result<Vec<WorkloadResult>> {
+        if WorkloadClass::of(req.prescription) == WorkloadClass::Behavioral {
+            return execute_behavioral(req, BehavioralBackend::Streaming);
+        }
         let window_ms = req
             .prescription
             .pattern
@@ -1149,6 +1258,10 @@ mod tests {
     #[test]
     fn classes_match_the_old_dispatch_precedence() {
         for (name, class) in [
+            ("behavioral/sessionize", WorkloadClass::Behavioral),
+            ("behavioral/retention", WorkloadClass::Behavioral),
+            ("behavioral/window-funnel", WorkloadClass::Behavioral),
+            ("behavioral/sequence-match", WorkloadClass::Behavioral),
             ("streaming/window-aggregation", WorkloadClass::Windowed),
             ("micro/wordcount", WorkloadClass::Text),
             ("micro/grep", WorkloadClass::Text),
@@ -1206,6 +1319,35 @@ mod tests {
         };
         let err = registry.dispatch(&req).unwrap_err();
         assert!(err.to_string().contains("none registered"), "{err}");
+    }
+
+    #[test]
+    fn dispatch_rejects_out_of_range_ewma_alpha() {
+        // The registry validates `routing.ewma_alpha` up front, so a bad
+        // value fails loudly at routing time instead of being silently
+        // ignored inside the router's observation fold.
+        let registry = EngineRegistry::with_builtins();
+        let p = prescription("micro/sort");
+        let datasets = BTreeMap::new();
+        let config = SystemConfig::default().with_parameter("routing.ewma_alpha", "2.0");
+        let trace = RunTrace::new();
+        let req = ExecutionRequest {
+            prescription: &p,
+            system: SystemKind::Sql,
+            seed: 1,
+            scale: 10,
+            datasets: &datasets,
+            config: &config,
+            trace: &trace,
+            routing: RoutingPolicy::Cost,
+        };
+        let err = match registry.route(&req) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("route accepted alpha=2.0"),
+        };
+        assert!(err.contains("(0, 1]"), "error names the valid range: {err}");
+        let err = registry.dispatch(&req).unwrap_err().to_string();
+        assert!(err.contains("routing.ewma_alpha=2"), "dispatch rejects too: {err}");
     }
 
     /// A capable fake relational engine with a fixed self-reported cost.

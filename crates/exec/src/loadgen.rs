@@ -29,6 +29,7 @@
 use crate::engine::EngineRegistry;
 use crate::trace::{RunTrace, TraceEvent};
 use bdb_common::dist::{Distribution, Zipf};
+use bdb_common::event::Event;
 use bdb_common::histogram::{Histogram, LogHistogram};
 use bdb_common::rng::{Rng, SeedTree};
 use bdb_common::value::{DataType, Field, Schema, Value};
@@ -36,7 +37,7 @@ use bdb_common::{pool, record::Table, BdbError, Result};
 use bdb_kv::{LsmConfig, SharedLsm};
 use bdb_metrics::ShardedCounter;
 use bdb_testgen::arrival::{self, ArrivalProcess, ArrivalSpec};
-use bdb_workloads::OutputPayload;
+use bdb_workloads::{behavioral, OutputPayload};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -532,6 +533,87 @@ impl LoadTarget for NativeLoadTarget {
     }
 }
 
+/// Events per synthetic clickstream in the streaming target.
+const STREAM_EVENTS_PER_KEY: u64 = 48;
+/// Session gap of the streaming target's sessionize kernel, ms.
+const STREAM_GAP_MS: u64 = 1_000;
+
+/// The synthetic clickstream named by `key`: a pure function of the key,
+/// deliberately unsorted (the kernel must sort), so every session and the
+/// oracle derive the same stream without shared state.
+fn stream_events(key: u64) -> Vec<Event> {
+    (0..STREAM_EVENTS_PER_KEY)
+        .map(|i| {
+            let h = mix(key.wrapping_mul(STREAM_EVENTS_PER_KEY).wrapping_add(i));
+            Event::new(h % 60_000, key, (h >> 32 & 0x7) as f64)
+        })
+        .collect()
+}
+
+/// Independent oracle: sessions of `key`'s stream by a naive sorted gap
+/// walk (no shared code with the streaming kernel).
+fn naive_sessions(key: u64) -> u64 {
+    let mut ts: Vec<u64> = stream_events(key).iter().map(|e| e.ts_ms).collect();
+    ts.sort_unstable();
+    1 + ts.windows(2).filter(|w| w[1] - w[0] > STREAM_GAP_MS).count() as u64
+}
+
+/// Streaming target: every op runs the sessionize kernel over a synthetic
+/// per-key clickstream — gets and puts sessionize one stream, scans fold
+/// session counts over a key range. This puts the behavioral operation
+/// class under the same concurrency and tail-latency discipline as the
+/// storage engines.
+#[derive(Debug, Default)]
+pub struct StreamingLoadTarget;
+
+struct StreamingSession;
+
+fn sessionize_of(key: u64) -> u64 {
+    let spec = behavioral::BehavioralSpec::Sessionize { gap_ms: STREAM_GAP_MS };
+    let out = behavioral::run_behavioral(&stream_events(key), &spec);
+    out.rows
+        .first()
+        .and_then(|r| r.get(1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+impl LoadSession for StreamingSession {
+    fn execute(&mut self, op: &LoadOp) -> String {
+        match *op {
+            LoadOp::Get { key } | LoadOp::Put { key } => {
+                format!("sessions:{}", sessionize_of(key))
+            }
+            LoadOp::Scan { start, len } => {
+                let sum: u64 = (start..(start + len).min(KEYSPACE)).map(sessionize_of).sum();
+                format!("sessions-sum:{sum}")
+            }
+        }
+    }
+}
+
+impl LoadTarget for StreamingLoadTarget {
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn session(&self) -> Box<dyn LoadSession + '_> {
+        Box::new(StreamingSession)
+    }
+
+    fn expected(&self, op: &LoadOp) -> String {
+        match *op {
+            LoadOp::Get { key } | LoadOp::Put { key } => {
+                format!("sessions:{}", naive_sessions(key))
+            }
+            LoadOp::Scan { start, len } => {
+                let sum: u64 = (start..(start + len).min(KEYSPACE)).map(naive_sessions).sum();
+                format!("sessions-sum:{sum}")
+            }
+        }
+    }
+}
+
 /// The measured outcome of driving one engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -837,8 +919,8 @@ fn run_open_loop(
 
 /// The load targets the registry's engines support, honouring the
 /// profile's engine filter. Targets: `kv` (LSM store), `sql` (point
-/// selects), `native` (pure compute) — each present when the registry
-/// registers the corresponding engine.
+/// selects), `native` (pure compute), `streaming` (sessionize kernel) —
+/// each present when the registry registers the corresponding engine.
 pub fn default_targets(
     registry: &EngineRegistry,
     profile: &LoadProfile,
@@ -859,6 +941,9 @@ pub fn default_targets(
     }
     if names.contains(&"native") && wanted("native") {
         targets.push(Box::new(NativeLoadTarget));
+    }
+    if names.contains(&"streaming") && wanted("streaming") {
+        targets.push(Box::new(StreamingLoadTarget));
     }
     if targets.is_empty() {
         return Err(BdbError::InvalidConfig(format!(
@@ -972,6 +1057,23 @@ mod tests {
         for op in [LoadOp::Get { key: 0 }, LoadOp::Put { key: 17 }, LoadOp::Scan { start: 5, len: 3 }] {
             assert_eq!(sess.execute(&op), t.expected(&op), "{op:?}");
         }
+    }
+
+    #[test]
+    fn streaming_target_oracle_matches_execution() {
+        let t = StreamingLoadTarget;
+        let mut sess = t.session();
+        for op in [
+            LoadOp::Get { key: 2 },
+            LoadOp::Put { key: 40 },
+            LoadOp::Scan { start: KEYSPACE - 3, len: 9 },
+        ] {
+            let out = sess.execute(&op);
+            assert_eq!(out, t.expected(&op), "{op:?}");
+            assert!(out.starts_with("sessions"), "{out}");
+        }
+        // The synthetic streams really sessionize: multiple sessions.
+        assert!(naive_sessions(2) > 1, "gap walk found {} sessions", naive_sessions(2));
     }
 
     #[test]

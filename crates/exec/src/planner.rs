@@ -233,7 +233,14 @@ impl Router {
     ) -> (String, crate::cost::ObservedEntry) {
         let profile = request.profile();
         let key = cost_key(engine, profile.class, &profile.data_kinds, request.scale);
-        let entry = self.observed.observe(&key, micros, request.config.routing_ewma_alpha());
+        // The registry validates the configured alpha before dispatching,
+        // so an out-of-range value never reaches the EWMA; the defensive
+        // fallback only covers direct callers that skipped dispatch.
+        let alpha = request
+            .config
+            .routing_ewma_alpha()
+            .unwrap_or(crate::cost::DEFAULT_EWMA_ALPHA);
+        let entry = self.observed.observe(&key, micros, alpha);
         (key, entry)
     }
 }

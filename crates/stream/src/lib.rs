@@ -21,6 +21,7 @@
 //! assert!(outcome.windows.len() >= 10); // ~10 windows x 2 keys
 //! ```
 
+pub mod behavioral;
 pub mod pipeline;
 pub mod window;
 

@@ -209,6 +209,30 @@ pub enum Operation {
         /// The per-window fold.
         function: AggSpec,
     },
+    /// Gap-based session assignment over a behavioral event stream.
+    Sessionize {
+        /// Inactivity gap (exclusive, in ms) that closes a session.
+        gap_ms: u64,
+    },
+    /// Cohort day-N return rates over a behavioral event stream.
+    Retention {
+        /// Length of one period (a "day") in ms.
+        period_ms: u64,
+        /// Number of period offsets to report.
+        periods: u32,
+    },
+    /// Max ordered-step funnel depth within a sliding time window.
+    WindowFunnel {
+        /// Window anchored at the first step, inclusive, in ms.
+        window_ms: u64,
+        /// Ordered step action ids.
+        steps: Vec<u64>,
+    },
+    /// Ordered action-pattern subsequence match per user.
+    SequenceMatch {
+        /// The action pattern, matched greedily left to right.
+        steps: Vec<u64>,
+    },
 
     // ---- double-set operations ----
     /// Inner equi-join of two sets.
@@ -237,7 +261,8 @@ impl Operation {
             }
             Select { .. } | Project { .. } | SortBy { .. } | Aggregate { .. } | Count
             | Distinct { .. } | TopK { .. } | ScanRange { .. } | Grep { .. } | WordCount
-            | WindowAggregate { .. } => OperationKind::SingleSet,
+            | WindowAggregate { .. } | Sessionize { .. } | Retention { .. }
+            | WindowFunnel { .. } | SequenceMatch { .. } => OperationKind::SingleSet,
             Join { .. } | Union | IntersectOn { .. } => OperationKind::DoubleSet,
         }
     }
@@ -270,6 +295,10 @@ impl Operation {
             Grep { .. } => "grep",
             WordCount => "wordcount",
             WindowAggregate { .. } => "window-aggregate",
+            Sessionize { .. } => "sessionize",
+            Retention { .. } => "retention",
+            WindowFunnel { .. } => "window-funnel",
+            SequenceMatch { .. } => "sequence-match",
             Join { .. } => "join",
             Union => "union",
             IntersectOn { .. } => "intersect",

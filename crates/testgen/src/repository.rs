@@ -98,6 +98,15 @@ fn stream_data(name: &str, items: u64) -> DataSpec {
     }
 }
 
+fn behavioral_data(name: &str, items: u64) -> DataSpec {
+    DataSpec {
+        name: name.into(),
+        source: "stream".into(),
+        generator: "behavioral/events".into(),
+        items,
+    }
+}
+
 fn default_metrics() -> Vec<MetricKind> {
     vec![MetricKind::UserPerceivable, MetricKind::Architecture]
 }
@@ -324,6 +333,51 @@ pub fn builtin_prescriptions() -> Vec<Prescription> {
             arrival: ArrivalSpec::Batch,
             metrics: default_metrics(),
         },
+        // ---- Behavioral analytics (internet-service clickstream) ----
+        Prescription {
+            name: "behavioral/sessionize".into(),
+            description: "gap-based session assignment over a behavioral event stream".into(),
+            data: vec![behavioral_data("events", 20_000)],
+            pattern: WorkloadPattern::Single {
+                op: Operation::Sessionize { gap_ms: 10_000 },
+                input: "events".into(),
+            },
+            arrival: ArrivalSpec::Batch,
+            metrics: default_metrics(),
+        },
+        Prescription {
+            name: "behavioral/retention".into(),
+            description: "cohort period-N return rates over a behavioral event stream".into(),
+            data: vec![behavioral_data("events", 20_000)],
+            pattern: WorkloadPattern::Single {
+                op: Operation::Retention { period_ms: 5_000, periods: 8 },
+                input: "events".into(),
+            },
+            arrival: ArrivalSpec::Batch,
+            metrics: default_metrics(),
+        },
+        Prescription {
+            name: "behavioral/window-funnel".into(),
+            description: "max ordered-step funnel depth within a sliding time window".into(),
+            data: vec![behavioral_data("events", 20_000)],
+            pattern: WorkloadPattern::Single {
+                op: Operation::WindowFunnel { window_ms: 30_000, steps: vec![0, 1, 2] },
+                input: "events".into(),
+            },
+            arrival: ArrivalSpec::Batch,
+            metrics: default_metrics(),
+        },
+        Prescription {
+            name: "behavioral/sequence-match".into(),
+            description: "ordered action-pattern subsequence match per user".into(),
+            data: vec![behavioral_data("events", 20_000)],
+            pattern: WorkloadPattern::Single {
+                op: Operation::SequenceMatch { steps: vec![1, 2, 0] },
+                input: "events".into(),
+            },
+            arrival: ArrivalSpec::Batch,
+            metrics: default_metrics(),
+        },
         // ---- E-commerce ----
         Prescription {
             name: "ecommerce/collaborative-filtering".into(),
@@ -382,6 +436,7 @@ mod tests {
         let repo = PrescriptionRepository::with_builtins();
         for domain in [
             "micro/", "oltp/", "relational/", "search/", "social/", "ecommerce/", "streaming/",
+            "behavioral/",
         ] {
             assert!(
                 !repo.domain(domain).is_empty(),

@@ -30,6 +30,7 @@ use std::collections::{BTreeMap, BTreeSet};
 pub fn oracle_payload(req: &ExecutionRequest<'_>) -> Result<OutputPayload> {
     match WorkloadClass::of(req.prescription) {
         WorkloadClass::Text => text_oracle(req),
+        WorkloadClass::Behavioral => behavioral_oracle(req),
         WorkloadClass::Windowed => windowed_oracle(req),
         WorkloadClass::Iterative => iterative_oracle(req),
         WorkloadClass::Element => element_oracle(req),
@@ -79,6 +80,123 @@ fn text_oracle(req: &ExecutionRequest<'_>) -> Result<OutputPayload> {
     Ok(OutputPayload::RowSet(
         counts.into_iter().map(|(w, c)| vec![w.to_string(), c.to_string()]).collect(),
     ))
+}
+
+// ---------------------------------------------------------------------
+// Behavioral analytics
+// ---------------------------------------------------------------------
+
+/// Naive batch reference for the behavioral operation class. Every
+/// computation here is the textbook O(n·m) formulation over the
+/// `(ts, action)`-sorted per-user sequence — deliberately different code
+/// from the engines' bounded-state aggregates (the funnel uses an
+/// anchor-by-anchor forward scan, not the engines' dynamic program).
+fn behavioral_oracle(req: &ExecutionRequest<'_>) -> Result<OutputPayload> {
+    let events = req
+        .datasets
+        .values()
+        .find_map(|d| match d {
+            Dataset::Stream(e) => Some(e.as_slice()),
+            _ => None,
+        })
+        .ok_or_else(|| BdbError::Execution("oracle needs a stream data set".into()))?;
+    // Behavioral results are defined on the event-time-ordered per-user
+    // sequence, independent of arrival order.
+    let mut users: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for e in events {
+        users.entry(e.key).or_default().push((e.ts_ms, e.value as u64));
+    }
+    for seq in users.values_mut() {
+        seq.sort_unstable();
+    }
+    let ops = req.prescription.pattern.operations();
+    let op = ops
+        .iter()
+        .find(|o| {
+            matches!(
+                o,
+                Operation::Sessionize { .. }
+                    | Operation::Retention { .. }
+                    | Operation::WindowFunnel { .. }
+                    | Operation::SequenceMatch { .. }
+            )
+        })
+        .ok_or_else(|| BdbError::Execution("oracle needs a behavioral operation".into()))?;
+    let rows: Vec<Vec<String>> = match op {
+        Operation::Sessionize { gap_ms } => users
+            .iter()
+            .map(|(user, seq)| {
+                let sessions =
+                    1 + seq.windows(2).filter(|w| w[1].0 - w[0].0 > *gap_ms).count() as u64;
+                vec![user.to_string(), sessions.to_string(), seq.len().to_string()]
+            })
+            .collect(),
+        Operation::Retention { period_ms, periods } => {
+            // One period set per user; periods past 63 clamp to 63 (the
+            // engines' documented 64-bit cohort-mask saturation).
+            let total = users.len() as u64;
+            let sets: Vec<BTreeSet<u64>> = users
+                .values()
+                .map(|seq| {
+                    seq.iter().map(|(ts, _)| (ts / (*period_ms).max(1)).min(63)).collect()
+                })
+                .collect();
+            (0..(*periods).min(64))
+                .map(|d| {
+                    let returned = sets
+                        .iter()
+                        .filter(|s| {
+                            s.first().is_some_and(|c| {
+                                c + u64::from(d) < 64 && s.contains(&(c + u64::from(d)))
+                            })
+                        })
+                        .count() as u64;
+                    vec![d.to_string(), returned.to_string(), total.to_string()]
+                })
+                .collect()
+        }
+        Operation::WindowFunnel { window_ms, steps } => {
+            // A duplicate step action counts for its first matching step.
+            let step_of = |action: u64| steps.iter().position(|&a| a == action);
+            users
+                .iter()
+                .map(|(user, seq)| {
+                    let mut best = 0u64;
+                    for (i, &(t0, a0)) in seq.iter().enumerate() {
+                        if step_of(a0) != Some(0) {
+                            continue;
+                        }
+                        let mut level = 1usize;
+                        for &(ts, action) in &seq[i + 1..] {
+                            if level >= steps.len() || ts - t0 > *window_ms {
+                                break;
+                            }
+                            if step_of(action) == Some(level) {
+                                level += 1;
+                            }
+                        }
+                        best = best.max(level as u64);
+                    }
+                    vec![user.to_string(), best.to_string()]
+                })
+                .collect()
+        }
+        Operation::SequenceMatch { steps } => users
+            .iter()
+            .map(|(user, seq)| {
+                let mut ptr = 0usize;
+                for &(_, action) in seq {
+                    if ptr < steps.len() && action == steps[ptr] {
+                        ptr += 1;
+                    }
+                }
+                let hit = u64::from(ptr == steps.len());
+                vec![user.to_string(), ptr.to_string(), hit.to_string()]
+            })
+            .collect(),
+        _ => unreachable!("filtered to behavioral operations above"),
+    };
+    Ok(OutputPayload::RowSet(rows))
 }
 
 // ---------------------------------------------------------------------

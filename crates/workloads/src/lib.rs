@@ -19,6 +19,7 @@
 //! view* requires both to produce identical answers, which the tests
 //! assert.
 
+pub mod behavioral;
 pub mod ecommerce;
 pub mod hybrid;
 pub mod micro;

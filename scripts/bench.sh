@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Self-timing hot-path bench: measures parallel datagen, dispatch routing,
-# the window pipeline, LSM put/get and the concurrent load driver's
-# per-engine saturation throughput + p99, writing a machine-readable
-# report (default BENCH_6.json) for the perf-regression gate.
+# the window pipeline, the behavioral sessionize kernel, LSM put/get and
+# the concurrent load driver's per-engine saturation throughput + p99,
+# writing a machine-readable report (default BENCH_8.json) for the
+# perf-regression gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_6.json}"
+OUT="${1:-BENCH_8.json}"
 cargo run --release -p bdb-bench --bin hotpaths -- "$OUT"

@@ -57,7 +57,7 @@ fi
 grep -q "crashed: injected kill point mid-matrix" "$crash_out" \
     || { echo "crash smoke: expected a crash error, got:"; cat "$crash_out"; exit 1; }
 checkpoints=$(find "$crash_journal" -name '*.json' | wc -l)
-if [ "$checkpoints" -lt 1 ] || [ "$checkpoints" -ge 25 ]; then
+if [ "$checkpoints" -lt 1 ] || [ "$checkpoints" -ge 33 ]; then
     echo "crash smoke: kill point must land mid-sweep (checkpoints=$checkpoints)"; exit 1
 fi
 ./target/release/bdbench verify --scale 300 --seed 42 --mode digest --goldens goldens \
@@ -88,18 +88,18 @@ echo "== adaptive routing smoke (two-pass verify, shared observed costs) =="
 # one observed-cost store shared across passes: both passes must be
 # CONFORMANT (adaptive decisions never change results), every cell must
 # record a routing decision, and the second pass must rank engines from
-# the runtimes the first pass observed (all 25 predictions sourced from
+# the runtimes the first pass observed (all 33 predictions sourced from
 # the EWMA store, not the static table).
 routing_out=$(mktemp)
 ./target/release/bdbench verify --scale 300 --seed 42 --mode digest --goldens goldens \
     --routing adaptive --passes 2 >"$routing_out" \
     || { echo "adaptive smoke: sweep failed or diverged"; cat "$routing_out"; exit 1; }
-conformant=$(grep -c "25 cells, 25 passed: CONFORMANT" "$routing_out")
+conformant=$(grep -c "33 cells, 33 passed: CONFORMANT" "$routing_out")
 if [ "$conformant" -ne 2 ]; then
     echo "adaptive smoke: expected both passes CONFORMANT (got $conformant)"
     cat "$routing_out"; exit 1
 fi
-grep -q "^routing: 25 decision(s), 25 predicted from observed costs$" "$routing_out" \
+grep -q "^routing: 33 decision(s), 33 predicted from observed costs$" "$routing_out" \
     || { echo "adaptive smoke: pass 2 must predict every cell from observed costs"; \
          cat "$routing_out"; exit 1; }
 rm -f "$routing_out"
@@ -115,7 +115,7 @@ load_out=$(mktemp)
     >"$load_out" || { echo "load smoke: drive failed or diverged"; cat "$load_out"; exit 1; }
 grep -q "verdict: CONFORMANT" "$load_out" \
     || { echo "load smoke: expected a CONFORMANT verdict"; cat "$load_out"; exit 1; }
-for engine in kv sql native; do
+for engine in kv sql native streaming; do
     completed=$(sed -n "s/^load\[$engine\]: .* (\([0-9]*\) completed.*/\1/p" "$load_out")
     if [ -z "$completed" ] || [ "$completed" -lt 1 ]; then
         echo "load smoke: $engine completed no ops"; cat "$load_out"; exit 1
@@ -126,16 +126,18 @@ rm -f "$load_out"
 
 echo "== bench smoke (hot-path perf report) =="
 # The self-timing bench must run to completion and produce a well-formed
-# machine-readable report naming all measured hot paths (the four legacy
+# machine-readable report naming all measured hot paths (the five kernel
 # paths plus the load driver's per-engine saturation samples).
-./scripts/bench.sh BENCH_6.json >/dev/null || { echo "bench smoke failed"; exit 1; }
-for path in datagen_parallel_items dispatch_route_all window_pipeline_events lsm_put_ops lsm_get_ops \
-            loadgen_saturation_kv loadgen_saturation_sql loadgen_saturation_native; do
-    grep -q "\"name\":\"$path\"" BENCH_6.json \
-        || { echo "bench smoke: $path missing from BENCH_6.json"; exit 1; }
+./scripts/bench.sh BENCH_8.json >/dev/null || { echo "bench smoke failed"; exit 1; }
+for path in datagen_parallel_items dispatch_route_all window_pipeline_events \
+            behavioral_sessionize_events lsm_put_ops lsm_get_ops \
+            loadgen_saturation_kv loadgen_saturation_sql loadgen_saturation_native \
+            loadgen_saturation_streaming; do
+    grep -q "\"name\":\"$path\"" BENCH_8.json \
+        || { echo "bench smoke: $path missing from BENCH_8.json"; exit 1; }
 done
-grep -q '"p99_us"' BENCH_6.json \
+grep -q '"p99_us"' BENCH_8.json \
     || { echo "bench smoke: loadgen samples must report p99_us"; exit 1; }
-echo "bench smoke: BENCH_6.json covers all eight hot paths"
+echo "bench smoke: BENCH_8.json covers all ten hot paths"
 
 echo "CI gate passed."
