@@ -1,0 +1,529 @@
+//! The perf-regression ledger: `BENCH_N.json` read/write and comparison.
+//!
+//! A ledger records, per hot path, the full sampled throughput
+//! distribution — every sample, the MAD outlier split, mean/stddev/
+//! min/max and t-distribution 95% confidence bounds — plus tail-latency
+//! distributions for the load-driver paths. Ledgers from before the
+//! statistical bench (single-shot `secs`/`per_sec` entries) still parse;
+//! their intervals degenerate to points.
+//!
+//! Parsing is strict and *named*: a malformed or shape-inconsistent
+//! field fails with an error naming the offending hot path, so a
+//! tampered or hand-edited ledger can never silently pass the CI gate.
+
+use crate::sampling::Distribution;
+use bdb_common::{BdbError, Result};
+use bdb_exec::analyzer::{BenchComparison, PathCi};
+use bdb_exec::reporter::{fmt_num, TableReporter};
+use serde::{get_field, Content, DeError, Deserialize};
+use std::fmt::Write as _;
+
+/// One hot path's ledger entry.
+///
+/// The first four fields are the legacy single-shot surface; the
+/// `Option` fields carry the sampled distribution and are present in
+/// every ledger the statistical bench emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathEntry {
+    /// Hot-path name (e.g. `lsm_put_ops`).
+    pub name: String,
+    /// Work units processed per sample (items, routes, events, ops).
+    pub units: u64,
+    /// Mean wall-clock of one sample, seconds.
+    pub secs: f64,
+    /// Mean throughput over kept samples, units/s.
+    pub per_sec: f64,
+    /// Sample standard deviation of throughput.
+    pub stddev: Option<f64>,
+    /// Smallest kept throughput sample.
+    pub min: Option<f64>,
+    /// Largest kept throughput sample.
+    pub max: Option<f64>,
+    /// Lower 95% confidence bound on mean throughput.
+    pub ci_lo: Option<f64>,
+    /// Upper 95% confidence bound on mean throughput.
+    pub ci_hi: Option<f64>,
+    /// Samples kept after outlier removal.
+    pub kept: Option<u64>,
+    /// Samples classified as MAD outliers.
+    pub outliers: Option<u64>,
+    /// Every recorded throughput sample, in measurement order.
+    pub samples_per_sec: Option<Vec<f64>>,
+    /// Mean p99 latency, microseconds (load-driver paths only).
+    pub p99_us: Option<f64>,
+    /// Lower 95% confidence bound on mean p99.
+    pub p99_ci_lo_us: Option<f64>,
+    /// Upper 95% confidence bound on mean p99.
+    pub p99_ci_hi_us: Option<f64>,
+    /// Every recorded p99 sample.
+    pub p99_samples_us: Option<Vec<f64>>,
+}
+
+impl PathEntry {
+    /// Build an entry from sampled throughput (and optionally p99)
+    /// distributions.
+    pub fn from_distributions(
+        name: &str,
+        units: u64,
+        mean_secs: f64,
+        throughput: &Distribution,
+        p99: Option<&Distribution>,
+    ) -> Self {
+        let s = &throughput.stats;
+        Self {
+            name: name.to_string(),
+            units,
+            secs: mean_secs,
+            per_sec: s.mean,
+            stddev: Some(s.stddev),
+            min: Some(s.min),
+            max: Some(s.max),
+            ci_lo: Some(s.ci_lo),
+            ci_hi: Some(s.ci_hi),
+            kept: Some(throughput.kept()),
+            outliers: Some(throughput.outliers()),
+            samples_per_sec: Some(throughput.samples.clone()),
+            p99_us: p99.map(|d| d.stats.mean),
+            p99_ci_lo_us: p99.map(|d| d.stats.ci_lo),
+            p99_ci_hi_us: p99.map(|d| d.stats.ci_hi),
+            p99_samples_us: p99.map(|d| d.samples.clone()),
+        }
+    }
+
+    /// The entry's throughput interval for comparison. Legacy entries
+    /// without distribution fields degenerate to a single-sample point.
+    pub fn path_ci(&self) -> PathCi {
+        PathCi {
+            path: self.name.clone(),
+            mean: self.per_sec,
+            ci_lo: self.ci_lo.unwrap_or(self.per_sec),
+            ci_hi: self.ci_hi.unwrap_or(self.per_sec),
+            samples: self.kept.unwrap_or(1),
+        }
+    }
+
+    /// The entry's p99-latency interval, when the path records one.
+    /// Latency is inverted into a throughput-like "higher is better"
+    /// scale (`1e6 / p99_us`) so [`BenchComparison`]'s verdict polarity
+    /// applies unchanged.
+    pub fn p99_ci(&self) -> Option<PathCi> {
+        let p99 = self.p99_us?;
+        let (lo, hi) = (self.p99_ci_lo_us.unwrap_or(p99), self.p99_ci_hi_us.unwrap_or(p99));
+        let inv = |x: f64| 1e6 / x.max(1e-9);
+        Some(PathCi {
+            path: format!("{}::p99", self.name),
+            mean: inv(p99),
+            // Inversion flips the bound order.
+            ci_lo: inv(hi),
+            ci_hi: inv(lo),
+            samples: self.p99_samples_us.as_ref().map_or(1, |s| s.len() as u64),
+        })
+    }
+}
+
+/// A full bench ledger: one entry per measured hot path plus the
+/// sampling protocol that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchLedger {
+    /// Bench identifier (`hotpaths`).
+    pub bench: String,
+    /// The deterministic seed every path ran under.
+    pub seed: u64,
+    /// Recorded samples per path (absent in legacy single-shot ledgers).
+    pub samples: Option<u64>,
+    /// Discarded warmup iterations per path.
+    pub warmup: Option<u64>,
+    /// Per-path entries.
+    pub results: Vec<PathEntry>,
+}
+
+fn ctx<T: Deserialize>(v: &Content, what: &str) -> std::result::Result<T, DeError> {
+    T::deserialize(v).map_err(|e| DeError::custom(format!("{what}: {e}")))
+}
+
+impl Deserialize for PathEntry {
+    fn deserialize(v: &Content) -> std::result::Result<Self, DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected a path object, found {}", v.kind())))?;
+        let name = get_field(map, "name")
+            .as_str()
+            .ok_or_else(|| DeError::custom("field 'name': expected a string"))?
+            .to_string();
+        let f = |key: &str| format!("path '{name}': field '{key}'");
+        Ok(Self {
+            units: ctx(get_field(map, "units"), &f("units"))?,
+            secs: ctx(get_field(map, "secs"), &f("secs"))?,
+            per_sec: ctx(get_field(map, "per_sec"), &f("per_sec"))?,
+            stddev: ctx(get_field(map, "stddev"), &f("stddev"))?,
+            min: ctx(get_field(map, "min"), &f("min"))?,
+            max: ctx(get_field(map, "max"), &f("max"))?,
+            ci_lo: ctx(get_field(map, "ci_lo"), &f("ci_lo"))?,
+            ci_hi: ctx(get_field(map, "ci_hi"), &f("ci_hi"))?,
+            kept: ctx(get_field(map, "kept"), &f("kept"))?,
+            outliers: ctx(get_field(map, "outliers"), &f("outliers"))?,
+            samples_per_sec: ctx(get_field(map, "samples_per_sec"), &f("samples_per_sec"))?,
+            p99_us: ctx(get_field(map, "p99_us"), &f("p99_us"))?,
+            p99_ci_lo_us: ctx(get_field(map, "p99_ci_lo_us"), &f("p99_ci_lo_us"))?,
+            p99_ci_hi_us: ctx(get_field(map, "p99_ci_hi_us"), &f("p99_ci_hi_us"))?,
+            p99_samples_us: ctx(get_field(map, "p99_samples_us"), &f("p99_samples_us"))?,
+            name,
+        })
+    }
+}
+
+impl Deserialize for BenchLedger {
+    fn deserialize(v: &Content) -> std::result::Result<Self, DeError> {
+        let map = v.as_map().ok_or_else(|| {
+            DeError::custom(format!("top level: expected an object, found {}", v.kind()))
+        })?;
+        let bench = get_field(map, "bench")
+            .as_str()
+            .ok_or_else(|| DeError::custom("field 'bench': expected a string"))?
+            .to_string();
+        let results = get_field(map, "results")
+            .as_seq()
+            .ok_or_else(|| DeError::custom("field 'results': expected an array"))?
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                PathEntry::deserialize(e)
+                    .map_err(|err| DeError::custom(format!("results[{i}]: {err}")))
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(Self {
+            bench,
+            seed: ctx(get_field(map, "seed"), "field 'seed'")?,
+            samples: ctx(get_field(map, "samples"), "field 'samples'")?,
+            warmup: ctx(get_field(map, "warmup"), "field 'warmup'")?,
+            results,
+        })
+    }
+}
+
+impl BenchLedger {
+    /// Parse a ledger document, then shape-check it. Errors name the
+    /// offending hot path and field.
+    pub fn parse(text: &str) -> Result<Self> {
+        let ledger: BenchLedger = serde_json::from_str(text)
+            .map_err(|e| BdbError::Format(format!("bench ledger: {e}")))?;
+        ledger.validate()?;
+        Ok(ledger)
+    }
+
+    /// Read and parse a ledger file; errors carry the file path.
+    pub fn load(path: &str) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| BdbError::Io(format!("reading bench ledger {path}: {e}")))?;
+        Self::parse(&text).map_err(|e| BdbError::Format(format!("{path}: {e}")))
+    }
+
+    /// Internal-consistency checks beyond JSON well-formedness: a ledger
+    /// whose numbers cannot have come from the sampling protocol
+    /// (impossible counts, inverted or non-containing intervals,
+    /// non-finite or non-positive throughput, duplicate paths) is
+    /// rejected with the offending path named.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |msg: String| Err(BdbError::Format(format!("bench ledger: {msg}")));
+        if self.bench.is_empty() {
+            return fail("field 'bench' must be non-empty".into());
+        }
+        if self.results.is_empty() {
+            return fail("field 'results' must list at least one hot path".into());
+        }
+        for (i, e) in self.results.iter().enumerate() {
+            let label = format!("path '{}'", e.name);
+            if e.name.is_empty() {
+                return fail(format!("results[{i}]: field 'name' must be non-empty"));
+            }
+            if self.results[..i].iter().any(|prev| prev.name == e.name) {
+                return fail(format!("{label}: duplicate entry"));
+            }
+            if !(e.per_sec.is_finite() && e.per_sec > 0.0) {
+                return fail(format!("{label}: 'per_sec' must be finite and positive"));
+            }
+            if !(e.secs.is_finite() && e.secs >= 0.0) {
+                return fail(format!("{label}: 'secs' must be finite and non-negative"));
+            }
+            let dist_fields = [
+                ("stddev", e.stddev.is_some()),
+                ("min", e.min.is_some()),
+                ("max", e.max.is_some()),
+                ("ci_lo", e.ci_lo.is_some()),
+                ("ci_hi", e.ci_hi.is_some()),
+                ("kept", e.kept.is_some()),
+                ("outliers", e.outliers.is_some()),
+                ("samples_per_sec", e.samples_per_sec.is_some()),
+            ];
+            if dist_fields.iter().any(|(_, p)| *p) {
+                if let Some((missing, _)) = dist_fields.iter().find(|(_, p)| !*p) {
+                    return fail(format!(
+                        "{label}: partial distribution (missing '{missing}')"
+                    ));
+                }
+                let (kept, outliers) = (e.kept.unwrap(), e.outliers.unwrap());
+                let n = e.samples_per_sec.as_ref().unwrap().len() as u64;
+                if kept + outliers != n {
+                    return fail(format!(
+                        "{label}: kept ({kept}) + outliers ({outliers}) != {n} samples"
+                    ));
+                }
+                if kept <= outliers {
+                    return fail(format!(
+                        "{label}: outlier classification dropped half the samples or more \
+                         ({outliers}/{n})"
+                    ));
+                }
+                let (lo, hi) = (e.ci_lo.unwrap(), e.ci_hi.unwrap());
+                if !(lo.is_finite() && hi.is_finite() && lo <= e.per_sec && e.per_sec <= hi) {
+                    return fail(format!(
+                        "{label}: 95% CI [{lo}, {hi}] must contain the mean {}",
+                        e.per_sec
+                    ));
+                }
+                let (min, max) = (e.min.unwrap(), e.max.unwrap());
+                if !(min <= e.per_sec && e.per_sec <= max) {
+                    return fail(format!(
+                        "{label}: mean {} outside sample range [{min}, {max}]",
+                        e.per_sec
+                    ));
+                }
+            }
+            if e.p99_ci_lo_us.is_some() || e.p99_ci_hi_us.is_some() || e.p99_samples_us.is_some()
+            {
+                let Some(p99) = e.p99_us else {
+                    return fail(format!("{label}: p99 bounds without 'p99_us'"));
+                };
+                let (lo, hi) = (e.p99_ci_lo_us.unwrap_or(p99), e.p99_ci_hi_us.unwrap_or(p99));
+                if !(lo <= p99 && p99 <= hi) {
+                    return fail(format!(
+                        "{label}: p99 CI [{lo}, {hi}] must contain the mean {p99}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the ledger's on-disk form: one line per hot path, so
+    /// committed ledgers diff reviewably. The output round-trips through
+    /// [`BenchLedger::parse`].
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(r#"{{"bench":"{}","seed":{}"#, self.bench, self.seed));
+        if let Some(s) = self.samples {
+            let _ = write!(out, r#","samples":{s}"#);
+        }
+        if let Some(w) = self.warmup {
+            let _ = write!(out, r#","warmup":{w}"#);
+        }
+        out.push_str(",\"results\":[\n");
+        let vec_json = |xs: &[f64]| {
+            xs.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(",")
+        };
+        for (i, e) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                r#"  {{"name":"{}","units":{},"secs":{:.6},"per_sec":{:.1}"#,
+                e.name, e.units, e.secs, e.per_sec
+            );
+            if let (Some(sd), Some(min), Some(max)) = (e.stddev, e.min, e.max) {
+                let _ = write!(out, r#","stddev":{sd:.1},"min":{min:.1},"max":{max:.1}"#);
+            }
+            if let (Some(lo), Some(hi)) = (e.ci_lo, e.ci_hi) {
+                let _ = write!(out, r#","ci_lo":{lo:.1},"ci_hi":{hi:.1}"#);
+            }
+            if let (Some(k), Some(o)) = (e.kept, e.outliers) {
+                let _ = write!(out, r#","kept":{k},"outliers":{o}"#);
+            }
+            if let Some(xs) = &e.samples_per_sec {
+                let _ = write!(out, r#","samples_per_sec":[{}]"#, vec_json(xs));
+            }
+            if let Some(p) = e.p99_us {
+                let _ = write!(out, r#","p99_us":{p:.3}"#);
+            }
+            if let (Some(lo), Some(hi)) = (e.p99_ci_lo_us, e.p99_ci_hi_us) {
+                let _ = write!(out, r#","p99_ci_lo_us":{lo:.3},"p99_ci_hi_us":{hi:.3}"#);
+            }
+            if let Some(xs) = &e.p99_samples_us {
+                let xs = xs.iter().map(|x| format!("{x:.3}")).collect::<Vec<_>>().join(",");
+                let _ = write!(out, r#","p99_samples_us":[{xs}]"#);
+            }
+            out.push_str(if i + 1 < self.results.len() { "},\n" } else { "}\n" });
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Throughput intervals for every path, in ledger order.
+    pub fn path_cis(&self) -> Vec<PathCi> {
+        self.results.iter().map(PathEntry::path_ci).collect()
+    }
+
+    /// Compare this ledger (the new run) against a baseline under the
+    /// non-overlapping-95%-CI significance rule with a minimum-effect
+    /// floor. `gate` scopes which paths can fail the regression gate
+    /// (empty = all).
+    pub fn compare_against(
+        &self,
+        baseline: &BenchLedger,
+        min_effect: f64,
+        gate: &[String],
+    ) -> BenchComparison {
+        BenchComparison::of(&baseline.path_cis(), &self.path_cis(), min_effect, gate)
+    }
+
+    /// Render the ledger as an aligned text table: per path the mean
+    /// throughput with its 95% CI, spread, the kept/outlier split, and
+    /// mean p99 for load-driver paths.
+    pub fn render(&self) -> String {
+        let mut t = TableReporter::new(
+            &format!(
+                "Hot paths (seed {}, {} sample(s)/path, {} warmup)",
+                self.seed,
+                self.samples.unwrap_or(1),
+                self.warmup.unwrap_or(0)
+            ),
+            &["path", "units", "ops/s", "95% CI", "stddev", "kept", "out", "p99 us"],
+        );
+        for e in &self.results {
+            let ci = match (e.ci_lo, e.ci_hi) {
+                (Some(lo), Some(hi)) => format!("[{}, {}]", fmt_num(lo), fmt_num(hi)),
+                _ => "-".to_string(),
+            };
+            t.add_row(&[
+                e.name.clone(),
+                e.units.to_string(),
+                fmt_num(e.per_sec),
+                ci,
+                e.stddev.map_or_else(|| "-".into(), fmt_num),
+                e.kept.map_or_else(|| "1".into(), |k| k.to_string()),
+                e.outliers.map_or_else(|| "0".into(), |o| o.to_string()),
+                e.p99_us.map_or_else(|| "-".into(), fmt_num),
+            ]);
+        }
+        t.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampled_entry(name: &str, base: f64) -> PathEntry {
+        let d = Distribution::from_samples(vec![base, base * 1.01, base * 0.99, base, base]);
+        PathEntry::from_distributions(name, 1000, 1000.0 / base, &d, None)
+    }
+
+    fn ledger() -> BenchLedger {
+        BenchLedger {
+            bench: "hotpaths".into(),
+            seed: 42,
+            samples: Some(5),
+            warmup: Some(1),
+            results: vec![sampled_entry("alpha", 1000.0), sampled_entry("beta", 50.0)],
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let l = ledger();
+        let parsed = BenchLedger::parse(&l.emit()).expect("roundtrip");
+        assert_eq!(parsed.results.len(), 2);
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.samples, Some(5));
+        let (a, b) = (&parsed.results[0], &l.results[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.kept, b.kept);
+        assert!((a.per_sec - b.per_sec).abs() < 0.1);
+        assert!((a.ci_lo.unwrap() - b.ci_lo.unwrap()).abs() < 0.1);
+        assert_eq!(a.samples_per_sec.as_ref().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn legacy_single_shot_ledger_parses_as_points() {
+        let text = r#"{"bench":"hotpaths","seed":42,"results":[
+          {"name":"lsm_put_ops","units":50000,"secs":0.022,"per_sec":2249793.0},
+          {"name":"loadgen_saturation_kv","units":12800,"secs":0.141,"per_sec":90649.3,"p99_us":196.608}
+        ]}"#;
+        let l = BenchLedger::parse(text).expect("legacy parse");
+        assert_eq!(l.samples, None);
+        let cis = l.path_cis();
+        assert_eq!(cis[0].samples, 1);
+        assert_eq!(cis[0].ci_lo, cis[0].ci_hi);
+        assert_eq!(l.results[1].p99_us, Some(196.608));
+    }
+
+    #[test]
+    fn tampered_field_names_the_path() {
+        let text = ledger().emit().replace(r#""ci_hi":"#, r#""ci_hi":"bogus","x":"#);
+        let err = BenchLedger::parse(&text).unwrap_err().to_string();
+        assert!(err.contains("path 'alpha'"), "{err}");
+        assert!(err.contains("ci_hi"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_counts_name_the_path() {
+        let mut l = ledger();
+        l.results[1].kept = Some(99);
+        let err = BenchLedger::parse(&l.emit()).unwrap_err().to_string();
+        assert!(err.contains("path 'beta'"), "{err}");
+        assert!(err.contains("kept"), "{err}");
+    }
+
+    #[test]
+    fn ci_not_containing_mean_is_rejected() {
+        let mut l = ledger();
+        l.results[0].ci_lo = Some(l.results[0].per_sec * 2.0);
+        l.results[0].ci_hi = Some(l.results[0].per_sec * 3.0);
+        let err = BenchLedger::parse(&l.emit()).unwrap_err().to_string();
+        assert!(err.contains("path 'alpha'") && err.contains("CI"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_paths_are_rejected() {
+        let mut l = ledger();
+        l.results[1].name = "alpha".into();
+        let err = BenchLedger::parse(&l.emit()).unwrap_err().to_string();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        let err = BenchLedger::parse("{\"bench\":").unwrap_err().to_string();
+        assert!(err.contains("bench ledger"), "{err}");
+        let err = BenchLedger::parse("[1,2]").unwrap_err().to_string();
+        assert!(err.contains("top level"), "{err}");
+    }
+
+    #[test]
+    fn self_comparison_is_all_unchanged() {
+        let l = ledger();
+        let c = l.compare_against(&l, 0.05, &[]);
+        assert!(!c.has_regressions());
+        assert!(c
+            .rows
+            .iter()
+            .all(|r| r.verdict == bdb_exec::analyzer::BenchVerdict::Unchanged));
+    }
+
+    #[test]
+    fn p99_interval_inverts_latency() {
+        let d = Distribution::from_samples(vec![100.0, 101.0, 99.0, 100.0, 100.0]);
+        let p99 = Distribution::from_samples(vec![200.0, 210.0, 190.0, 205.0, 195.0]);
+        let e = PathEntry::from_distributions("kv", 1000, 0.1, &d, Some(&p99));
+        let ci = e.p99_ci().expect("p99 interval");
+        // Higher latency -> lower inverted score; bounds stay ordered.
+        assert!(ci.ci_lo <= ci.mean && ci.mean <= ci.ci_hi);
+        assert_eq!(ci.path, "kv::p99");
+        assert_eq!(ci.samples, 5);
+    }
+
+    #[test]
+    fn render_shows_intervals() {
+        let text = ledger().render();
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("95% CI"), "{text}");
+        assert!(text.contains("5 sample(s)/path"), "{text}");
+    }
+}

@@ -1,8 +1,22 @@
-//! Shared helpers for the experiment benches.
+//! `bdb-bench`: the statistical measurement subsystem plus the
+//! experiment benches.
 //!
-//! Every bench regenerates one paper artifact (a table or figure; see the
-//! experiment index in DESIGN.md): it prints the paper-style rows once and
-//! then lets Criterion measure the hot kernels.
+//! Two halves live here:
+//!
+//! * The **statistical hot-path bench** behind `bdbench bench` —
+//!   [`sampling`] (warmup discard, N repeated samples, MAD outlier
+//!   classification, t-distribution 95% confidence intervals),
+//!   [`hotpaths`] (the ten measured hot paths), and [`ledger`] (the
+//!   committed `BENCH_N.json` perf-regression ledger and its
+//!   non-overlapping-CI significance comparison).
+//! * The **Criterion experiment benches** under `benches/`, each
+//!   regenerating one paper artifact (a table or figure; see the
+//!   experiment index in DESIGN.md): they print the paper-style rows
+//!   once and then let Criterion measure the hot kernels.
+
+pub mod hotpaths;
+pub mod ledger;
+pub mod sampling;
 
 use criterion::Criterion;
 use std::time::Duration;

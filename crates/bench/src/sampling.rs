@@ -1,0 +1,126 @@
+//! Repeated-measurement sampling: warmup discard, N samples, and the
+//! per-path distribution (mean, stddev, t-distribution 95% CI, MAD-based
+//! outlier classification) the bench ledger records.
+//!
+//! The methodology follows the repeatability bar the paper's §3 sets and
+//! the duckdb-behavioral benchmarking protocol: a result is a
+//! *distribution*, not a number, and two results differ only when their
+//! 95% confidence intervals do not overlap.
+
+use bdb_common::stats::{classify_outliers, SampleStats};
+
+/// Conventional conservative MAD cut: deviations beyond 3.5 scaled MADs
+/// from the median are classified out.
+pub const OUTLIER_MAD_SIGMAS: f64 = 3.5;
+
+/// How a hot path is sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    /// Discarded warmup iterations before the first recorded sample
+    /// (cold caches, lazy initialisation, frequency scaling).
+    pub warmup: u32,
+    /// Recorded samples per hot path.
+    pub samples: u32,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        Self { warmup: 1, samples: 5 }
+    }
+}
+
+impl SamplingConfig {
+    /// Total iterations a path runs (warmup + recorded).
+    pub fn iterations(&self) -> u32 {
+        self.warmup + self.samples
+    }
+
+    /// Is iteration `i` (0-based) a recorded sample?
+    pub fn is_recorded(&self, i: u32) -> bool {
+        i >= self.warmup
+    }
+}
+
+/// The distribution of one repeatedly-measured quantity: every recorded
+/// sample, the MAD outlier split, and the summary statistics (with 95%
+/// CI bounds) over the kept samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    /// All recorded samples, in measurement order (outliers included).
+    pub samples: Vec<f64>,
+    /// Per-sample outlier flags, aligned with `samples`.
+    pub outlier_flags: Vec<bool>,
+    /// Summary statistics over the kept (non-outlier) samples.
+    pub stats: SampleStats,
+}
+
+impl Distribution {
+    /// Classify outliers and summarise the kept samples.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empty sample set");
+        let outlier_flags = classify_outliers(&samples, OUTLIER_MAD_SIGMAS);
+        let kept: Vec<f64> = samples
+            .iter()
+            .zip(&outlier_flags)
+            .filter(|(_, &out)| !out)
+            .map(|(&x, _)| x)
+            .collect();
+        // The classifier never drops >= half the samples, so `kept` is
+        // non-empty.
+        let stats = SampleStats::from_samples(&kept);
+        Self { samples, outlier_flags, stats }
+    }
+
+    /// Samples kept after outlier removal.
+    pub fn kept(&self) -> u64 {
+        self.stats.n
+    }
+
+    /// Samples classified as outliers.
+    pub fn outliers(&self) -> u64 {
+        self.samples.len() as u64 - self.stats.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_separates_warmup_from_recorded() {
+        let cfg = SamplingConfig { warmup: 2, samples: 3 };
+        assert_eq!(cfg.iterations(), 5);
+        assert!(!cfg.is_recorded(0));
+        assert!(!cfg.is_recorded(1));
+        assert!(cfg.is_recorded(2));
+        assert!(cfg.is_recorded(4));
+    }
+
+    #[test]
+    fn distribution_excludes_the_spike_from_stats() {
+        let d = Distribution::from_samples(vec![100.0, 101.0, 99.0, 100.5, 1000.0]);
+        assert_eq!(d.kept(), 4);
+        assert_eq!(d.outliers(), 1);
+        assert!(d.stats.mean < 110.0, "outlier must not drag the mean");
+        assert!(d.stats.ci_lo <= d.stats.mean && d.stats.mean <= d.stats.ci_hi);
+        assert_eq!(d.samples.len(), 5);
+        assert_eq!(d.outlier_flags, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn distribution_of_identical_samples_is_a_point() {
+        let d = Distribution::from_samples(vec![7.0; 5]);
+        assert_eq!(d.outliers(), 0);
+        assert_eq!(d.stats.ci_width(), 0.0);
+        assert_eq!(d.stats.mean, 7.0);
+    }
+
+    #[test]
+    fn distribution_keeps_a_majority_always() {
+        let d = Distribution::from_samples(vec![1.0, 2.0, 1000.0, 2000.0, 3000.0, 4000.0]);
+        assert!(d.kept() as usize > d.samples.len() / 2);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`convert`] — format conversion: CSV/TSV, JSON-lines, plain text and
 //!   a length-prefixed binary format, all round-trippable.
 //! * [`analyzer`] — result analysis: speedups, winners, crossover points,
-//!   and recovery summaries for chaos runs.
+//!   recovery summaries for chaos runs, and the statistical bench-ledger
+//!   comparison ([`analyzer::BenchComparison`]) behind the
+//!   perf-regression gate.
 //! * [`reporter`] — plain-text and Markdown table rendering.
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]),
 //!   retry with jittered backoff ([`fault::RetryPolicy`]) and the
@@ -47,8 +49,8 @@ pub mod reporter;
 pub mod trace;
 
 pub use analyzer::{
-    compare, find_crossover, Comparison, ConformanceSummary, LoadSummary, RecoverySummary,
-    RoutingSummary,
+    compare, find_crossover, BenchComparison, BenchComparisonRow, BenchVerdict, Comparison,
+    ConformanceSummary, LoadSummary, PathCi, RecoverySummary, RoutingSummary,
 };
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;

@@ -124,20 +124,30 @@ for engine in kv sql native streaming; do
 done
 rm -f "$load_out"
 
-echo "== bench smoke (hot-path perf report) =="
-# The self-timing bench must run to completion and produce a well-formed
-# machine-readable report naming all measured hot paths (the five kernel
-# paths plus the load driver's per-engine saturation samples).
-./scripts/bench.sh BENCH_8.json >/dev/null || { echo "bench smoke failed"; exit 1; }
+echo "== bench gate (sampled hot paths vs committed baseline) =="
+# The statistical bench (5 samples/path, warmup discard, MAD outlier
+# rejection, t-distribution 95% CIs) runs all ten hot paths and compares
+# the five original kernel paths against the committed baseline ledger.
+# A statistically significant regression — non-overlapping 95% CIs AND
+# ≥50% effect — fails the build. The wide min-effect floor keeps the gate
+# non-flaky on shared CI machines (observed run-to-run drift is ≲15%);
+# it catches algorithmic regressions, not micro-noise.
+bench_out=$(mktemp)
+./scripts/bench.sh BENCH_9.json --samples 5 --compare BENCH_8.json \
+    --gate original --min-effect 0.5 --fail-on-regression >"$bench_out" \
+    || { echo "bench gate: significant perf regression"; cat "$bench_out"; exit 1; }
 for path in datagen_parallel_items dispatch_route_all window_pipeline_events \
             behavioral_sessionize_events lsm_put_ops lsm_get_ops \
             loadgen_saturation_kv loadgen_saturation_sql loadgen_saturation_native \
             loadgen_saturation_streaming; do
-    grep -q "\"name\":\"$path\"" BENCH_8.json \
-        || { echo "bench smoke: $path missing from BENCH_8.json"; exit 1; }
+    grep -q "\"name\":\"$path\"" BENCH_9.json \
+        || { echo "bench gate: $path missing from BENCH_9.json"; exit 1; }
 done
-grep -q '"p99_us"' BENCH_8.json \
-    || { echo "bench smoke: loadgen samples must report p99_us"; exit 1; }
-echo "bench smoke: BENCH_8.json covers all ten hot paths"
+grep -q '"ci_lo"' BENCH_9.json \
+    || { echo "bench gate: ledger must carry 95% CI bounds"; exit 1; }
+grep -q '"p99_us"' BENCH_9.json \
+    || { echo "bench gate: loadgen samples must report p99_us"; exit 1; }
+rm -f "$bench_out"
+echo "bench gate: ten hot paths sampled, five originals within baseline CIs"
 
 echo "CI gate passed."
