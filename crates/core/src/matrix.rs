@@ -175,11 +175,19 @@ pub struct MatrixRouting {
     pub policy: RoutingPolicy,
     /// EWMA store shared by all cells (and across passes when reused).
     pub observed: Arc<ObservedCosts>,
+    /// Extra system-config parameters applied to every cell's execution
+    /// layer (e.g. the `breaker.*` knobs from the CLI). Invalid values
+    /// fail the first cell loudly instead of being silently ignored.
+    pub parameters: Vec<(String, String)>,
 }
 
 impl Default for MatrixRouting {
     fn default() -> Self {
-        Self { policy: RoutingPolicy::default(), observed: Arc::new(ObservedCosts::new()) }
+        Self {
+            policy: RoutingPolicy::default(),
+            observed: Arc::new(ObservedCosts::new()),
+            parameters: Vec::new(),
+        }
     }
 }
 
@@ -284,8 +292,11 @@ pub fn verify_matrix_routed(
                 .copied()
                 .unwrap_or(SystemKind::Native);
             let mut bench = Benchmark::new();
-            bench.execution_layer_mut().system_config =
-                SystemConfig::default().with_threads(MATRIX_THREADS);
+            let mut config = SystemConfig::default().with_threads(MATRIX_THREADS);
+            for (key, value) in &routing.parameters {
+                config = config.with_parameter(key, value);
+            }
+            bench.execution_layer_mut().system_config = config;
             let mut registry = EngineRegistry::new();
             registry.register(engine);
             // All cells share the sweep's observed-cost store: each cell

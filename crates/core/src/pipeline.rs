@@ -20,12 +20,15 @@ use bdb_common::{pool, Result};
 use bdb_datagen::velocity::VelocityController;
 use bdb_datagen::volume::VolumeSpec;
 use bdb_datagen::{merge_datasets, Dataset};
-use bdb_exec::analyzer::{ConformanceSummary, LoadSummary, RecoverySummary, RoutingSummary};
+use bdb_exec::analyzer::{
+    ConformanceSummary, HealthSummary, LoadSummary, RecoverySummary, RoutingSummary,
+};
 use bdb_exec::engine::ExecutionRequest;
 use bdb_exec::fault::{self, FaultSite, Resilience, RetryPolicy};
 use bdb_exec::loadgen::{self, LoadProfile};
 use bdb_exec::reporter::{
-    fmt_num, render_conformance, render_load, render_resilience, render_routing, TableReporter,
+    fmt_num, render_conformance, render_health, render_load, render_resilience, render_routing,
+    TableReporter,
 };
 use bdb_exec::trace::{RunTrace, TraceEvent};
 use bdb_metrics::GenerationMetrics;
@@ -150,6 +153,13 @@ impl Benchmark {
             },
             spec.seed,
         );
+        // Fresh breakers per run: the health store is shared with the
+        // router, so stale trips from a previous run must not leak into
+        // this one's routing or admission decisions.
+        self.execution_layer
+            .engines
+            .health()
+            .reset(self.execution_layer.system_config.breaker_policy()?, spec.seed);
         let mut phases = Vec::with_capacity(5);
         let mut finish_phase = |trace: &RunTrace, phase: Phase, started: Instant| {
             let duration = started.elapsed();
@@ -323,10 +333,30 @@ impl Benchmark {
     pub fn run_load(&self, spec: &BenchmarkSpec) -> Result<LoadRun> {
         let trace = RunTrace::new();
         let profile = spec.load.clone().unwrap_or_default();
+        // The spec's fault plan rides into every lane: each issued op runs
+        // inside the recovery loop and feeds the per-engine breakers.
+        let resilience = Resilience::new(
+            spec.faults.clone(),
+            RetryPolicy {
+                max_retries: spec.retries,
+                deadline_ms: spec.deadline_ms,
+                ..RetryPolicy::default()
+            },
+            spec.seed,
+        );
+        self.execution_layer
+            .engines
+            .health()
+            .reset(self.execution_layer.system_config.breaker_policy()?, spec.seed);
         trace.phase_started("load");
         let t0 = Instant::now();
-        let reports =
-            loadgen::run_load(&self.execution_layer.engines, &profile, spec.seed, &trace)?;
+        let reports = loadgen::run_load_resilient(
+            &self.execution_layer.engines,
+            &profile,
+            &resilience,
+            spec.seed,
+            &trace,
+        )?;
         trace.phase_finished("load", t0.elapsed());
         let events = trace.events();
         let summary = LoadSummary::new(reports, &events);
@@ -336,7 +366,16 @@ impl Benchmark {
             .first()
             .map(|r| r.digest.clone())
             .unwrap_or_default();
-        let analysis = format!("{}: load\n{}", spec.name, render_load(&summary));
+        // Breaker activity appears only when chaos tripped something —
+        // clean drives keep their analysis unchanged.
+        let health = HealthSummary::from_events(&events);
+        let health_section = if health.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}", render_health(&health))
+        };
+        let analysis =
+            format!("{}: load\n{}{}", spec.name, render_load(&summary), health_section);
         Ok(LoadRun { profile, summary, conformance, analysis, trace, digest })
     }
 }
@@ -414,15 +453,24 @@ fn render_analysis(
     } else {
         format!("\n{}", render_routing(&routing_summary))
     };
+    // Health appears only when a breaker changed state — runs whose
+    // breakers stayed closed keep their analysis unchanged.
+    let health_summary = HealthSummary::from_events(&trace.events());
+    let health_section = if health_summary.is_empty() {
+        String::new()
+    } else {
+        format!("\n{}", render_health(&health_summary))
+    };
     format!(
-        "{}\n{}{}{}{}{}{}",
+        "{}\n{}{}{}{}{}{}{}",
         data.to_text(),
         gen_line,
         dispatch_lines,
         table.to_text(),
         resilience_section,
         conformance_section,
-        routing_section
+        routing_section,
+        health_section
     )
 }
 

@@ -92,6 +92,46 @@ impl SystemConfig {
         }
     }
 
+    /// Circuit-breaker thresholds for the run's [`HealthStore`]: each
+    /// `breaker.*` parameter overrides the matching
+    /// [`BreakerPolicy`] field, with
+    /// every override range-checked before any engine runs.
+    ///
+    /// Recognised keys: `breaker.window`, `breaker.trip_ratio`,
+    /// `breaker.min_samples`, `breaker.cooldown`, `breaker.probe_stride`,
+    /// `breaker.close_after`.
+    ///
+    /// [`HealthStore`]: crate::health::HealthStore
+    /// [`BreakerPolicy`]: crate::health::BreakerPolicy
+    ///
+    /// # Errors
+    /// Fails when an override is unparsable or out of range — a breaker
+    /// that can never trip (ratio > 1) or never probe (stride 0) would
+    /// silently disable health-aware serving.
+    pub fn breaker_policy(&self) -> Result<crate::health::BreakerPolicy> {
+        let mut p = crate::health::BreakerPolicy::default();
+        if self.parameters.contains_key("breaker.window") {
+            p.window = self.parameter("breaker.window")?;
+        }
+        if self.parameters.contains_key("breaker.trip_ratio") {
+            p.trip_ratio = self.parameter("breaker.trip_ratio")?;
+        }
+        if self.parameters.contains_key("breaker.min_samples") {
+            p.min_samples = self.parameter("breaker.min_samples")?;
+        }
+        if self.parameters.contains_key("breaker.cooldown") {
+            p.cooldown = self.parameter("breaker.cooldown")?;
+        }
+        if self.parameters.contains_key("breaker.probe_stride") {
+            p.probe_stride = self.parameter("breaker.probe_stride")?;
+        }
+        if self.parameters.contains_key("breaker.close_after") {
+            p.close_after = self.parameter("breaker.close_after")?;
+        }
+        p.validate()?;
+        Ok(p)
+    }
+
     /// Read a typed parameter.
     ///
     /// # Errors
@@ -184,6 +224,34 @@ mod tests {
         assert!(c.routing_ewma_alpha().is_err());
         let c = SystemConfig::default().with_parameter("routing.ewma_alpha", "fast");
         assert!(c.routing_ewma_alpha().is_err());
+    }
+
+    #[test]
+    fn breaker_policy_defaults_then_overrides() {
+        let p = SystemConfig::default().breaker_policy().unwrap();
+        assert_eq!(p, crate::health::BreakerPolicy::default());
+        let c = SystemConfig::default()
+            .with_parameter("breaker.window", "32")
+            .with_parameter("breaker.trip_ratio", "0.25")
+            .with_parameter("breaker.cooldown", "5");
+        let p = c.breaker_policy().unwrap();
+        assert_eq!(p.window, 32);
+        assert!((p.trip_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(p.cooldown, 5);
+        // Untouched fields keep their defaults.
+        assert_eq!(p.probe_stride, crate::health::BreakerPolicy::default().probe_stride);
+    }
+
+    #[test]
+    fn breaker_policy_rejects_out_of_range() {
+        let c = SystemConfig::default().with_parameter("breaker.trip_ratio", "1.5");
+        let err = c.breaker_policy().unwrap_err().to_string();
+        assert!(err.contains("(0, 1]"), "error should name the valid range: {err}");
+        let c = SystemConfig::default().with_parameter("breaker.cooldown", "0");
+        let err = c.breaker_policy().unwrap_err().to_string();
+        assert!(err.contains(">= 1"), "error should name the valid range: {err}");
+        let c = SystemConfig::default().with_parameter("breaker.window", "lots");
+        assert!(c.breaker_policy().is_err());
     }
 
     #[test]

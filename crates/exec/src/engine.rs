@@ -378,6 +378,19 @@ impl EngineRegistry {
         self.router.observed()
     }
 
+    /// Share a health store (per-engine circuit breakers) with this
+    /// registry's router, e.g. one store across every run of a server.
+    pub fn set_health(&mut self, store: Arc<crate::health::HealthStore>) {
+        self.router.set_health(store);
+    }
+
+    /// The per-engine breaker store: the router demotes open engines,
+    /// resilient dispatch skips them and records outcomes, and the load
+    /// driver's admission controller consults it for brownout.
+    pub fn health(&self) -> Arc<crate::health::HealthStore> {
+        self.router.health()
+    }
+
     /// The single capability-matching pass every routing entry point
     /// shares: the engines that support the request's profile, split into
     /// the explicit partition (implementing the requested system) and the
@@ -387,11 +400,13 @@ impl EngineRegistry {
         &self,
         request: &ExecutionRequest<'_>,
     ) -> Result<Vec<(&dyn Engine, Routing)>> {
-        // Validate the routing smoothing factor up front: every dispatch
-        // entry point funnels through here, so a bad `routing.ewma_alpha`
-        // fails loudly before any engine runs instead of corrupting the
-        // observed-cost store after the fact.
+        // Validate the routing smoothing factor and breaker thresholds up
+        // front: every dispatch entry point funnels through here, so a bad
+        // `routing.ewma_alpha` or `breaker.*` parameter fails loudly
+        // before any engine runs instead of corrupting the observed-cost
+        // store or disarming the breaker after the fact.
         request.config.routing_ewma_alpha()?;
+        request.config.breaker_policy()?;
         let profile = request.profile();
         let capable: Vec<&dyn Engine> = self
             .engines
@@ -530,34 +545,68 @@ impl EngineRegistry {
     /// exhausts its retries. Recovery is recorded in the trace (fault,
     /// retry, failover and deadline events) and on the results
     /// (`attempts` / `failovers` details) whenever the run was degraded.
+    ///
+    /// Dispatch is health-aware: every candidate's circuit breaker is
+    /// consulted before it runs. Open breakers are skipped outright
+    /// (half-open ones admit only their deterministic probes, whose
+    /// outcomes close or reopen the breaker), each real outcome is
+    /// folded back into the breaker window, and when *every* capable
+    /// engine is denied the dispatch fails fast with each breaker's
+    /// status named in the error.
     pub fn dispatch_resilient(
         &self,
         request: &ExecutionRequest<'_>,
         resilience: &Resilience,
     ) -> Result<Vec<WorkloadResult>> {
         let candidates = self.ranked_candidates(request)?;
-        // The primary routing decision is recorded exactly as plain
-        // dispatch records it; failover events then narrate re-routes.
-        request.trace.record(crate::trace::TraceEvent::EngineDispatched {
-            prescription: request.prescription.name.clone(),
-            engine: candidates[0].routing.engine.clone(),
-            requested_system: request.system.to_string(),
-            explicit: candidates[0].routing.explicit,
-            candidates: self.names().iter().map(|n| n.to_string()).collect(),
-        });
-        self.record_routing_decision(request, &candidates);
+        let health = self.router.health();
         let started = Instant::now();
         let mut total_attempts = 0u32;
         let mut total_faults = 0u32;
-        let mut last_error = None;
-        for (idx, candidate) in candidates.iter().enumerate() {
+        let mut failovers = 0u32;
+        let mut last_error: Option<BdbError> = None;
+        // The last candidate that actually ran and failed: failover
+        // events narrate real engine handoffs (with the triggering error
+        // and that engine's own attempt count), never breaker skips.
+        let mut prev_failed: Option<(String, u32)> = None;
+        let mut dispatched = false;
+        for candidate in &candidates {
             let engine = candidate.engine;
-            if idx > 0 {
+            let admission = health.admit(engine.name());
+            if admission.half_opened {
+                request.trace.record(crate::trace::TraceEvent::BreakerHalfOpen {
+                    engine: engine.name().to_string(),
+                });
+            }
+            if !admission.allowed {
+                continue;
+            }
+            if !dispatched {
+                dispatched = true;
+                // The primary routing decision is recorded exactly as
+                // plain dispatch records it; failover events then narrate
+                // re-routes.
+                request.trace.record(crate::trace::TraceEvent::EngineDispatched {
+                    prescription: request.prescription.name.clone(),
+                    engine: candidate.routing.engine.clone(),
+                    requested_system: request.system.to_string(),
+                    explicit: candidate.routing.explicit,
+                    candidates: self.names().iter().map(|n| n.to_string()).collect(),
+                });
+                self.record_routing_decision(request, &candidates);
+            }
+            if let Some((from, engine_attempts)) = prev_failed.take() {
+                failovers += 1;
                 request.trace.record(crate::trace::TraceEvent::EngineFailedOver {
                     prescription: request.prescription.name.clone(),
-                    from: candidates[idx - 1].routing.engine.clone(),
+                    from,
                     to: candidate.routing.engine.clone(),
                     attempts: total_attempts,
+                    engine_attempts,
+                    error: last_error
+                        .as_ref()
+                        .map(ToString::to_string)
+                        .unwrap_or_default(),
                 });
             }
             let site = FaultSite::execution(engine.name(), &request.prescription.name);
@@ -569,8 +618,32 @@ impl EngineRegistry {
                 started,
                 &mut || engine.execute(request),
             );
+            let record_breaker = |ok: bool| {
+                if admission.probe {
+                    request.trace.record(crate::trace::TraceEvent::ProbeResult {
+                        engine: engine.name().to_string(),
+                        ok,
+                    });
+                }
+                let recorded = health.record(engine.name(), ok, admission.probe);
+                match recorded.transition {
+                    Some(crate::health::BreakerState::Open) => {
+                        request.trace.record(crate::trace::TraceEvent::BreakerOpened {
+                            engine: engine.name().to_string(),
+                            failure_rate: recorded.failure_rate,
+                        });
+                    }
+                    Some(crate::health::BreakerState::Closed) => {
+                        request.trace.record(crate::trace::TraceEvent::BreakerClosed {
+                            engine: engine.name().to_string(),
+                        });
+                    }
+                    _ => {}
+                }
+            };
             match outcome {
                 Ok(recovered) => {
+                    record_breaker(true);
                     // Feed the adaptive loop: what this engine actually
                     // took (including any injected faults and retries it
                     // absorbed) becomes its next predicted cost.
@@ -581,14 +654,14 @@ impl EngineRegistry {
                     );
                     total_attempts += recovered.attempts;
                     total_faults += recovered.faults;
-                    let degraded = idx > 0 || total_attempts > 1 || total_faults > 0;
+                    let degraded = failovers > 0 || total_attempts > 1 || total_faults > 0;
                     let results = recovered
                         .value
                         .into_iter()
                         .map(|r| {
                             if degraded {
                                 r.with_detail("attempts", f64::from(total_attempts))
-                                    .with_detail("failovers", idx as f64)
+                                    .with_detail("failovers", f64::from(failovers))
                             } else {
                                 r
                             }
@@ -597,6 +670,7 @@ impl EngineRegistry {
                     return Ok(results);
                 }
                 Err(failure) => {
+                    record_breaker(false);
                     total_attempts += failure.attempts;
                     // A crash is the process dying, not this engine
                     // misbehaving — failing over would "survive" a death
@@ -604,6 +678,7 @@ impl EngineRegistry {
                     // resuming. Deadline exhaustion likewise ends the
                     // whole dispatch, not just this candidate.
                     let terminal = failure.deadline_hit || failure.crashed;
+                    prev_failed = Some((candidate.routing.engine.clone(), failure.attempts));
                     last_error = Some(failure.error);
                     if terminal {
                         break;
@@ -611,7 +686,24 @@ impl EngineRegistry {
                 }
             }
         }
-        Err(last_error.expect("route_all returned at least one candidate"))
+        Err(last_error.unwrap_or_else(|| {
+            // Nothing ran at all: every capable engine's breaker denied
+            // admission. Fail fast, naming each breaker's status, instead
+            // of hammering engines the health layer already condemned.
+            let status = health
+                .unhealthy()
+                .iter()
+                .map(|(e, s)| format!("{e}: {s}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            BdbError::Execution(format!(
+                "all {} capable engine(s) for prescription {} denied by open circuit \
+                 breakers ({status}); admission resumes when a breaker's cooldown \
+                 elapses and its probes succeed",
+                candidates.len(),
+                request.prescription.name,
+            ))
+        }))
     }
 }
 

@@ -21,6 +21,11 @@
 //!   recovery loop resilient dispatch is built from.
 //! * [`journal`] — the run journal: atomic per-cell checkpoints that let
 //!   a killed run `--resume` without re-executing completed cells.
+//! * [`health`] — health-aware serving: per-engine circuit breakers
+//!   (closed → open → half-open) in a thread-safe shared
+//!   [`health::HealthStore`]; the router demotes open engines, dispatch
+//!   skips them, and the load driver's brownout controller sheds
+//!   proportionally while they recover.
 //! * [`loadgen`] — the concurrent load driver: N client sessions × M
 //!   in-flight ops, closed- and open-loop arrivals, bounded admission
 //!   with shedding, tail-latency and saturation reporting.
@@ -42,6 +47,7 @@ pub mod convert;
 pub mod cost;
 pub mod engine;
 pub mod fault;
+pub mod health;
 pub mod journal;
 pub mod loadgen;
 pub mod planner;
@@ -50,7 +56,7 @@ pub mod trace;
 
 pub use analyzer::{
     compare, find_crossover, BenchComparison, BenchComparisonRow, BenchVerdict, Comparison,
-    ConformanceSummary, LoadSummary, PathCi, RecoverySummary, RoutingSummary,
+    ConformanceSummary, HealthSummary, LoadSummary, PathCi, RecoverySummary, RoutingSummary,
 };
 pub use config::{SoftwareStack, SystemConfig};
 pub use convert::DataFormat;
@@ -61,7 +67,8 @@ pub use engine::{
 };
 pub use planner::{CostSource, Ranked, Router, RoutingPolicy, Score};
 pub use fault::{FaultInjector, FaultKind, FaultPhase, FaultPlan, FaultSite, Resilience, RetryPolicy};
+pub use health::{Admission, BreakerPolicy, BreakerSnapshot, BreakerState, HealthStore};
 pub use journal::{CellCheckpoint, RunJournal};
-pub use loadgen::{LoadArrival, LoadProfile, LoadReport};
+pub use loadgen::{run_load, run_load_resilient, LoadArrival, LoadProfile, LoadReport};
 pub use reporter::TableReporter;
 pub use trace::{RunTrace, TraceEvent};

@@ -25,13 +25,46 @@
 //! subset of op results is compared against a pure oracle through
 //! [`OutputPayload`] diffing and recorded as `ConformanceChecked` trace
 //! events — concurrency must not change answers.
+//!
+//! # Chaos under load
+//!
+//! [`run_load_resilient`] drives the same schedules with an active
+//! [`Resilience`]: every op gets its own injector seeded by
+//! `mix(seed ^ index)`, so its fault/retry outcome is a pure function of
+//! `(seed, index)` — identical counts at any concurrency. Ops that
+//! exhaust recovery (or hit a `crash@` kill point, which is terminal
+//! per-op) count as **failed**, extending conservation to
+//! `issued == completed + shed + failed`. In open-loop drives the pacer
+//! additionally runs the serving-side protection in schedule order:
+//!
+//! * **circuit breaker** — each arrival is admitted through the target
+//!   engine's [`HealthStore`] breaker and its *planned* outcome (the
+//!   same pure function the lanes will execute) is recorded, so breaker
+//!   trips and recoveries form one deterministic sequence; denied
+//!   arrivals are shed.
+//! * **adaptive brownout** — sustained queue overload or a half-open
+//!   breaker builds a pressure counter; past the grace threshold a
+//!   proportional, seed-deterministic fraction of arrivals is shed
+//!   before dispatch and the episode is traced
+//!   (`brownout_engaged`/`brownout_released`).
+//!
+//! Both mechanisms engage only when the drive carries an active fault
+//! plan: passive drives take the historical byte-identical path. With a
+//! per-op deadline the *actual* fail/complete split becomes
+//! timing-dependent (reports stay truthful; only the breaker feed keeps
+//! using planned outcomes), so deterministic chaos suites avoid
+//! deadlines.
 
 use crate::engine::EngineRegistry;
+use crate::fault::{
+    run_with_recovery, FaultInjector, FaultKind, FaultPlan, FaultSite, Resilience, RetryPolicy,
+};
+use crate::health::{BreakerState, HealthStore};
 use crate::trace::{RunTrace, TraceEvent};
 use bdb_common::dist::{Distribution, Zipf};
 use bdb_common::event::Event;
 use bdb_common::histogram::{Histogram, LogHistogram};
-use bdb_common::rng::{Rng, SeedTree};
+use bdb_common::rng::{Rng, SeedTree, SplitMix64};
 use bdb_common::value::{DataType, Field, Schema, Value};
 use bdb_common::{pool, record::Table, BdbError, Result};
 use bdb_kv::{LsmConfig, SharedLsm};
@@ -627,8 +660,17 @@ pub struct LoadReport {
     pub issued: u64,
     /// Ops that executed to completion.
     pub completed: u64,
-    /// Ops shed at the admission queue (open loop only).
+    /// Ops shed at the admission queue, by the brownout controller, or by
+    /// an open circuit breaker (open loop only).
     pub shed: u64,
+    /// Ops that exhausted recovery (or crashed) and failed.
+    pub failed: u64,
+    /// Faults injected across the drive's lanes.
+    pub faults: u64,
+    /// Retries the drive's lanes performed.
+    pub retries: u64,
+    /// Times this engine's circuit breaker tripped open during the drive.
+    pub breaker_trips: u64,
     /// Wall-clock of the drive, seconds.
     pub duration_secs: f64,
     /// Saturation throughput: completed ops per second.
@@ -650,11 +692,14 @@ pub struct LoadReport {
 }
 
 /// Per-lane capture merged at quiesce: a thread-local latency histogram,
-/// queue-delay histogram, completion count and sampled outcomes.
+/// queue-delay histogram, completion/chaos counts and sampled outcomes.
 struct LaneOut {
     lat: LogHistogram,
     queue_delay: Histogram,
     completed: u64,
+    failed: u64,
+    faults: u64,
+    retries: u64,
     samples: Vec<(usize, String)>,
 }
 
@@ -664,7 +709,119 @@ impl LaneOut {
             lat: LogHistogram::new(),
             queue_delay: Histogram::with_bounds(0.0, 1000.0, 500),
             completed: 0,
+            failed: 0,
+            faults: 0,
+            retries: 0,
             samples: Vec::new(),
+        }
+    }
+}
+
+/// Arrivals of sustained overload pressure before the brownout starts
+/// shedding.
+pub const BROWNOUT_GRACE: u64 = 8;
+/// Shed fraction added per pressure unit above the grace threshold.
+const BROWNOUT_STEP: f64 = 1.0 / 16.0;
+/// The brownout never sheds more than this fraction — enough traffic must
+/// get through for half-open probes to run and the queue to drain.
+const BROWNOUT_CEILING: f64 = 0.75;
+
+/// The brownout's shed fraction at a given pressure: 0 under the grace
+/// threshold, then proportional and capped.
+fn brownout_fraction(pressure: u64) -> f64 {
+    (pressure.saturating_sub(BROWNOUT_GRACE) as f64 * BROWNOUT_STEP).min(BROWNOUT_CEILING)
+}
+
+/// A uniform draw in `[0, 1)` from one mixed word.
+fn unit_draw(word: u64) -> f64 {
+    (SplitMix64::mix(word) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Everything one chaos drive shares across lanes and the pacer: the
+/// fault plan, retry policy, and the run seed per-op injectors derive
+/// from.
+struct ChaosCtx {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    seed: u64,
+    site: FaultSite,
+}
+
+impl ChaosCtx {
+    /// Build the context when `res` carries an active injector; `None`
+    /// keeps the drive on the historical no-chaos path.
+    fn from_resilience(res: &Resilience, seed: u64, engine: &str) -> Option<Self> {
+        res.injector.as_ref().map(|inj| ChaosCtx {
+            plan: inj.plan().clone(),
+            policy: res.policy.clone(),
+            seed,
+            site: FaultSite::execution(engine, "load"),
+        })
+    }
+
+    /// The injector seed for op `idx`: a pure function of `(seed, idx)`,
+    /// so an op's fault sequence is identical at any concurrency.
+    fn op_seed(&self, idx: usize) -> u64 {
+        SplitMix64::mix(self.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The outcome op `idx`'s recovery loop will reach, without running
+    /// it: a fresh injector over the same `(seed, idx)` draw sequence.
+    /// Latency spikes still complete; errors and panics fail once the
+    /// retry budget is spent; a crash is terminal on its first injection.
+    /// Mirrors [`run_with_recovery`] over an always-succeeding operation
+    /// with no deadline.
+    fn planned_ok(&self, idx: usize) -> bool {
+        let inj = FaultInjector::new(self.plan.clone(), self.op_seed(idx));
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match inj.sample(&self.site) {
+                None => return true,
+                Some(fault) => match fault.kind {
+                    FaultKind::Latency => return true,
+                    FaultKind::Crash => return false,
+                    FaultKind::Error | FaultKind::Panic => {
+                        if attempt >= self.policy.attempts() {
+                            return false;
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Execute op `idx` under its per-op resilience, folding fault/retry
+    /// counts into the lane. Returns the outcome string when the op
+    /// completed. Recovery-path trace events go to a scratch trace — at
+    /// load volumes per-op fault events would swamp the run trace; the
+    /// counts land in the [`LoadReport`] instead.
+    fn execute(
+        &self,
+        lane: &mut LaneOut,
+        sess: &mut dyn LoadSession,
+        op: &LoadOp,
+        idx: usize,
+    ) -> Option<String> {
+        let res = Resilience::new(Some(self.plan.clone()), self.policy.clone(), self.op_seed(idx));
+        let scratch = RunTrace::new();
+        let mut attempt_op = || Ok(sess.execute(op));
+        match run_with_recovery(&res, &scratch, &self.site, Instant::now(), &mut attempt_op) {
+            Ok(rec) => {
+                lane.faults += u64::from(rec.faults);
+                lane.retries += u64::from(rec.attempts.saturating_sub(1));
+                Some(rec.value)
+            }
+            Err(fail) => {
+                lane.faults += scratch
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, TraceEvent::FaultInjected { .. }))
+                    .count() as u64;
+                lane.retries += u64::from(fail.attempts.saturating_sub(1));
+                lane.failed += 1;
+                None
+            }
         }
     }
 }
@@ -676,8 +833,13 @@ fn record_op(
     idx: usize,
     sample_every: usize,
     latency_from: Instant,
+    chaos: Option<&ChaosCtx>,
 ) {
-    let out = sess.execute(&schedule[idx].op);
+    let out = match chaos {
+        None => Some(sess.execute(&schedule[idx].op)),
+        Some(c) => c.execute(lane, sess, &schedule[idx].op, idx),
+    };
+    let Some(out) = out else { return };
     lane.lat
         .record(latency_from.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
     lane.completed += 1;
@@ -686,7 +848,8 @@ fn record_op(
     }
 }
 
-/// Drive one target with the given schedule and profile.
+/// Drive one target with the given schedule and profile, fault-free (the
+/// historical path: no injector, no breaker, no brownout).
 ///
 /// # Errors
 /// Fails when a worker panics or the profile is invalid.
@@ -696,29 +859,64 @@ pub fn run_target(
     schedule: &[ScheduledOp],
     trace: &RunTrace,
 ) -> Result<LoadReport> {
+    run_target_resilient(
+        target,
+        profile,
+        schedule,
+        &Resilience::passive(0),
+        &HealthStore::default(),
+        0,
+        trace,
+    )
+}
+
+/// Drive one target with the given schedule under a resilience
+/// configuration: per-op deterministic fault injection, and — for
+/// open-loop drives with an active plan — breaker admission and adaptive
+/// brownout at the pacer (see the module docs).
+///
+/// # Errors
+/// Fails when a worker panics, the profile is invalid, or op accounting
+/// breaks conservation (`issued == completed + shed + failed`).
+pub fn run_target_resilient(
+    target: &dyn LoadTarget,
+    profile: &LoadProfile,
+    schedule: &[ScheduledOp],
+    res: &Resilience,
+    health: &HealthStore,
+    seed: u64,
+    trace: &RunTrace,
+) -> Result<LoadReport> {
     profile.validate()?;
+    let chaos = ChaosCtx::from_resilience(res, seed, target.name());
     let t0 = Instant::now();
-    let (lanes, shed) = if profile.arrival.is_open() {
-        run_open_loop(target, profile, schedule, trace, t0)?
+    let (lanes, shed, breaker_trips) = if profile.arrival.is_open() {
+        run_open_loop(target, profile, schedule, trace, t0, chaos.as_ref(), health)?
     } else {
-        run_closed_loop(target, profile, schedule, trace)?
+        run_closed_loop(target, profile, schedule, trace, chaos.as_ref())?
     };
 
     let mut lat = LogHistogram::new();
     let mut queue_delay = Histogram::with_bounds(0.0, 1000.0, 500);
     let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut faults = 0u64;
+    let mut retries = 0u64;
     let mut samples: Vec<(usize, String)> = Vec::new();
     for lane in &lanes {
         lat.merge(&lane.lat);
         queue_delay.merge(&lane.queue_delay);
         completed += lane.completed;
+        failed += lane.failed;
+        faults += lane.faults;
+        retries += lane.retries;
         samples.extend(lane.samples.iter().cloned());
     }
     let duration_secs = t0.elapsed().as_secs_f64().max(1e-9);
-    // Conservation: every scheduled op either completed or was shed.
-    if completed + shed != schedule.len() as u64 {
+    // Conservation: every scheduled op completed, was shed, or failed.
+    if completed + shed + failed != schedule.len() as u64 {
         return Err(BdbError::Execution(format!(
-            "load accounting broke: {completed} completed + {shed} shed != {} issued",
+            "load accounting broke: {completed} completed + {shed} shed + {failed} failed != {} issued",
             schedule.len()
         )));
     }
@@ -754,6 +952,10 @@ pub fn run_target(
         issued: schedule.len() as u64,
         completed,
         shed,
+        failed,
+        faults,
+        retries,
+        breaker_trips,
         duration_secs,
         throughput_ops_per_sec: completed as f64 / duration_secs,
         p50_us: lat.quantile(0.50) as f64 / 1e3,
@@ -775,7 +977,8 @@ fn run_closed_loop(
     profile: &LoadProfile,
     schedule: &[ScheduledOp],
     trace: &RunTrace,
-) -> Result<(Vec<LaneOut>, u64)> {
+    chaos: Option<&ChaosCtx>,
+) -> Result<(Vec<LaneOut>, u64, u64)> {
     let cursor = AtomicUsize::new(0);
     // Global hot-path tally: every worker bumps it per op, so it is
     // sharded (a single atomic would ping-pong its cache line).
@@ -799,7 +1002,7 @@ fn run_closed_loop(
             let end = (base + profile.inflight).min(schedule.len());
             for idx in base..end {
                 let d0 = Instant::now();
-                record_op(&mut lane, sess.as_mut(), schedule, idx, profile.sample_every, d0);
+                record_op(&mut lane, sess.as_mut(), schedule, idx, profile.sample_every, d0, chaos);
                 completed_total.add(1);
             }
         }
@@ -814,10 +1017,10 @@ fn run_closed_loop(
     .map_err(|p| BdbError::Execution(format!("load worker panicked: {p}")))?;
     debug_assert_eq!(
         completed_total.value(),
-        lanes.iter().map(|l| l.completed).sum::<u64>(),
+        lanes.iter().map(|l| l.completed + l.failed).sum::<u64>(),
         "sharded tally must agree with the merged lanes"
     );
-    Ok((lanes, 0))
+    Ok((lanes, 0, 0))
 }
 
 /// Open loop: a pacer thread walks the schedule on the wall clock,
@@ -825,22 +1028,36 @@ fn run_closed_loop(
 /// worker sessions drain the queue. Latency is measured from the
 /// intended arrival instant (coordinated omission), and the
 /// dispatch-minus-arrival gap is captured separately as queue delay.
+///
+/// On a chaos drive the pacer is also the serving-side admission
+/// controller, in schedule order: the brownout sheds a proportional
+/// fraction of arrivals under sustained pressure, the engine's circuit
+/// breaker denies (sheds) arrivals while open, and every admitted op's
+/// planned outcome feeds the breaker — one deterministic trip/recovery
+/// sequence per `(seed, plan)`.
 fn run_open_loop(
     target: &dyn LoadTarget,
     profile: &LoadProfile,
     schedule: &[ScheduledOp],
     trace: &RunTrace,
     start: Instant,
-) -> Result<(Vec<LaneOut>, u64)> {
+    chaos: Option<&ChaosCtx>,
+    health: &HealthStore,
+) -> Result<(Vec<LaneOut>, u64, u64)> {
     let cap = profile.queue_cap();
     let queue: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::with_capacity(cap));
     let ready = Condvar::new();
     let done = AtomicBool::new(false);
     let shed_total = ShardedCounter::new(1);
     let (queue, ready, done, shed_total) = (&queue, &ready, &done, &shed_total);
+    let engine = target.name();
 
-    let lanes = std::thread::scope(|scope| {
+    let (lanes, trips) = std::thread::scope(|scope| {
         let pacer = scope.spawn(move || {
+            let mut trips = 0u64;
+            let mut pressure = 0u64;
+            let mut brownout_shed = 0u64;
+            let mut engaged = false;
             for (idx, slot) in schedule.iter().enumerate() {
                 let due = Duration::from_secs_f64(slot.at_ms / 1000.0);
                 let now = start.elapsed();
@@ -848,6 +1065,74 @@ fn run_open_loop(
                     std::thread::sleep(due - now);
                 }
                 let mut q = queue.lock().expect("load queue");
+                if let Some(c) = chaos {
+                    // Breaker admission first: open → shed (fail fast),
+                    // and every admitted arrival feeds the breaker its
+                    // planned outcome — *before* brownout or queue
+                    // shedding, so the trip/recovery sequence is a pure
+                    // function of `(seed, plan, policy)` regardless of
+                    // worker timing.
+                    let admission = health.admit(engine);
+                    if admission.half_opened {
+                        trace.record(TraceEvent::BreakerHalfOpen { engine: engine.to_string() });
+                    }
+                    if !admission.allowed {
+                        shed_total.add(1);
+                        continue;
+                    }
+                    let planned_ok = c.planned_ok(idx);
+                    if admission.probe {
+                        trace.record(TraceEvent::ProbeResult {
+                            engine: engine.to_string(),
+                            ok: planned_ok,
+                        });
+                    }
+                    let recorded = health.record(engine, planned_ok, admission.probe);
+                    match recorded.transition {
+                        Some(BreakerState::Open) => {
+                            trips += 1;
+                            trace.record(TraceEvent::BreakerOpened {
+                                engine: engine.to_string(),
+                                failure_rate: recorded.failure_rate,
+                            });
+                        }
+                        Some(BreakerState::Closed) => {
+                            trace.record(TraceEvent::BreakerClosed { engine: engine.to_string() });
+                        }
+                        _ => {}
+                    }
+                    // Brownout second: sustained queue overload (≥ 3/4
+                    // full) or a half-open breaker builds pressure; past
+                    // the grace threshold a proportional,
+                    // per-index-seeded fraction of arrivals is shed
+                    // before dispatch. Adaptive by design — the queue
+                    // signal tracks real worker timing.
+                    let overloaded = q.len() * 4 >= cap * 3
+                        || health.state(engine) == BreakerState::HalfOpen;
+                    pressure = if overloaded { pressure + 1 } else { pressure.saturating_sub(1) };
+                    let fraction = brownout_fraction(pressure);
+                    if fraction > 0.0 && !engaged {
+                        engaged = true;
+                        trace.record(TraceEvent::BrownoutEngaged {
+                            engine: engine.to_string(),
+                            pressure,
+                            shed_fraction: fraction,
+                        });
+                    } else if fraction == 0.0 && engaged {
+                        engaged = false;
+                        trace.record(TraceEvent::BrownoutReleased {
+                            engine: engine.to_string(),
+                            shed: brownout_shed,
+                        });
+                    }
+                    if fraction > 0.0
+                        && unit_draw(c.seed ^ 0xB707_0000 ^ idx as u64) < fraction
+                    {
+                        brownout_shed += 1;
+                        shed_total.add(1);
+                        continue;
+                    }
+                }
                 if q.len() >= cap {
                     // Shed: the arrival clock never blocks on a full
                     // queue; the op is counted and dropped.
@@ -858,8 +1143,15 @@ fn run_open_loop(
                 drop(q);
                 ready.notify_one();
             }
+            if engaged {
+                trace.record(TraceEvent::BrownoutReleased {
+                    engine: engine.to_string(),
+                    shed: brownout_shed,
+                });
+            }
             done.store(true, Ordering::SeqCst);
             ready.notify_all();
+            trips
         });
 
         let lanes = pool::try_par_map(
@@ -900,7 +1192,15 @@ fn run_open_loop(
                         .checked_add(intended)
                         .filter(|t| *t <= Instant::now())
                         .unwrap_or_else(Instant::now);
-                    record_op(&mut lane, sess.as_mut(), schedule, idx, profile.sample_every, latency_from);
+                    record_op(
+                        &mut lane,
+                        sess.as_mut(),
+                        schedule,
+                        idx,
+                        profile.sample_every,
+                        latency_from,
+                        chaos,
+                    );
                 }
                 trace.record(TraceEvent::LoadSessionFinished {
                     engine: target.name().to_string(),
@@ -911,10 +1211,12 @@ fn run_open_loop(
                 lane
             },
         );
-        pacer.join().expect("pacer thread");
-        lanes.map_err(|p| BdbError::Execution(format!("load worker panicked: {p}")))
+        let trips = pacer.join().expect("pacer thread");
+        lanes
+            .map(|l| (l, trips))
+            .map_err(|p| BdbError::Execution(format!("load worker panicked: {p}")))
     })?;
-    Ok((lanes, shed_total.value()))
+    Ok((lanes, shed_total.value(), trips))
 }
 
 /// The load targets the registry's engines support, honouring the
@@ -956,7 +1258,8 @@ pub fn default_targets(
 }
 
 /// Drive every selected target with one shared deterministic schedule,
-/// engine after engine (saturation measurements must not overlap).
+/// engine after engine (saturation measurements must not overlap),
+/// fault-free.
 ///
 /// # Errors
 /// Fails on an invalid profile, an empty engine filter, or a worker
@@ -967,11 +1270,40 @@ pub fn run_load(
     seed: u64,
     trace: &RunTrace,
 ) -> Result<Vec<LoadReport>> {
+    run_load_resilient(registry, profile, &Resilience::passive(seed), seed, trace)
+}
+
+/// Drive every selected target under a resilience configuration: the
+/// chaos counterpart of [`run_load`], injecting per-op faults into the
+/// lanes and running breaker/brownout admission at the pacer. Breaker
+/// state lives in the registry's shared [`HealthStore`], keyed per
+/// engine, so a drive's trips are visible to later resilient dispatch
+/// (and to [`crate::analyzer::HealthSummary`]).
+///
+/// # Errors
+/// Fails on an invalid profile, an empty engine filter, a worker panic,
+/// or broken op conservation.
+pub fn run_load_resilient(
+    registry: &EngineRegistry,
+    profile: &LoadProfile,
+    res: &Resilience,
+    seed: u64,
+    trace: &RunTrace,
+) -> Result<Vec<LoadReport>> {
     let schedule = build_schedule(profile, seed)?;
     let targets = default_targets(registry, profile)?;
+    let health = registry.health();
     let mut reports = Vec::with_capacity(targets.len());
     for target in &targets {
-        reports.push(run_target(target.as_ref(), profile, &schedule, trace)?);
+        reports.push(run_target_resilient(
+            target.as_ref(),
+            profile,
+            &schedule,
+            res,
+            &health,
+            seed,
+            trace,
+        )?);
     }
     Ok(reports)
 }
@@ -1159,6 +1491,135 @@ mod tests {
             .filter(|e| matches!(e, TraceEvent::LoadShed { .. }))
             .count();
         assert_eq!(shed_events, 1);
+    }
+
+    #[test]
+    fn closed_loop_chaos_conserves_and_is_deterministic() {
+        let plan: FaultPlan = "error@exec:0.4".parse().unwrap();
+        let drive = || {
+            let trace = RunTrace::new();
+            let p = quick_profile();
+            let schedule = build_schedule(&p, 21).unwrap();
+            let res = Resilience::new(
+                Some(plan.clone()),
+                RetryPolicy { max_retries: 1, base_delay_ms: 0, ..RetryPolicy::default() },
+                21,
+            );
+            let health = HealthStore::default();
+            run_target_resilient(&NativeLoadTarget, &p, &schedule, &res, &health, 21, &trace)
+                .unwrap()
+        };
+        let a = drive();
+        let b = drive();
+        assert_eq!(a.completed + a.failed, a.issued, "closed loop sheds nothing");
+        assert_eq!(a.shed, 0);
+        assert!(a.failed > 0, "rate 0.4 with one retry must exhaust some ops");
+        assert!(a.faults > a.failed, "every failure burned >= 2 faults");
+        assert!(a.retries > 0);
+        assert!(a.conformance_passed, "failed ops never reach the sample set");
+        assert_eq!(
+            (a.completed, a.failed, a.faults, a.retries, &a.digest),
+            (b.completed, b.failed, b.faults, b.retries, &b.digest),
+            "chaos counts must be a pure function of the seed"
+        );
+    }
+
+    #[test]
+    fn open_loop_chaos_breaker_sequence_is_deterministic() {
+        let plan: FaultPlan = "error@exec:0.8".parse().unwrap();
+        let p = LoadProfile {
+            arrival: LoadArrival::Uniform { rate_per_sec: 2000.0 },
+            duration_ms: 100,
+            clients: 2,
+            inflight: 2,
+            ..LoadProfile::default()
+        };
+        let drive = || {
+            let trace = RunTrace::new();
+            let schedule = build_schedule(&p, 5).unwrap();
+            let res = Resilience::new(
+                Some(plan.clone()),
+                RetryPolicy { base_delay_ms: 0, ..RetryPolicy::default() },
+                5,
+            );
+            let health = HealthStore::default();
+            let r = run_target_resilient(&NativeLoadTarget, &p, &schedule, &res, &health, 5, &trace)
+                .unwrap();
+            let breaker: Vec<String> = trace
+                .events()
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e,
+                        TraceEvent::BreakerOpened { .. }
+                            | TraceEvent::BreakerHalfOpen { .. }
+                            | TraceEvent::BreakerClosed { .. }
+                            | TraceEvent::ProbeResult { .. }
+                    )
+                })
+                .map(|e| format!("{e:?}"))
+                .collect();
+            (r, breaker)
+        };
+        let (a, breaker_a) = drive();
+        let (b, breaker_b) = drive();
+        assert_eq!(a.issued, a.completed + a.shed + a.failed, "conservation");
+        assert!(a.breaker_trips >= 1, "planned failure rate 0.8 must trip the breaker");
+        assert!(a.shed > 0, "an open breaker denies (sheds) arrivals");
+        assert_eq!(a.breaker_trips, b.breaker_trips, "trips are seed-deterministic");
+        assert_eq!(
+            breaker_a, breaker_b,
+            "the breaker event sequence is fed planned outcomes in schedule order \
+             and must not depend on worker timing"
+        );
+    }
+
+    #[test]
+    fn brownout_engages_under_sustained_overload() {
+        // The undersized-queue scenario with chaos active: arrivals far
+        // outpace a slow single worker, so the queue stays full and the
+        // pacer's pressure counter passes the grace threshold.
+        struct SlowTarget;
+        struct SlowSession;
+        impl LoadSession for SlowSession {
+            fn execute(&mut self, _op: &LoadOp) -> String {
+                std::thread::sleep(Duration::from_millis(3));
+                "slow".to_string()
+            }
+        }
+        impl LoadTarget for SlowTarget {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn session(&self) -> Box<dyn LoadSession + '_> {
+                Box::new(SlowSession)
+            }
+            fn expected(&self, _op: &LoadOp) -> String {
+                "slow".to_string()
+            }
+        }
+        let trace = RunTrace::new();
+        let p = LoadProfile {
+            arrival: LoadArrival::Uniform { rate_per_sec: 5000.0 },
+            duration_ms: 60,
+            clients: 1,
+            inflight: 1,
+            queue_capacity: Some(1),
+            ..LoadProfile::default()
+        };
+        let schedule = build_schedule(&p, 9).unwrap();
+        let res = Resilience::new(
+            Some("error@exec:0.01".parse().unwrap()),
+            RetryPolicy::default(),
+            9,
+        );
+        let health = HealthStore::default();
+        let r = run_target_resilient(&SlowTarget, &p, &schedule, &res, &health, 9, &trace).unwrap();
+        assert_eq!(r.issued, r.completed + r.shed + r.failed, "conservation");
+        assert!(r.shed > 0, "overload must shed");
+        let labels: Vec<&'static str> = trace.events().iter().map(|e| e.label()).collect();
+        assert!(labels.contains(&"brownout_engaged"), "{labels:?}");
+        assert!(labels.contains(&"brownout_released"), "{labels:?}");
     }
 
     #[test]

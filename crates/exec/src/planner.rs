@@ -21,6 +21,7 @@
 
 use crate::cost::{cost_key, CostModel, ObservedCosts, StaticCostModel};
 use crate::engine::{Engine, ExecutionRequest, Routing};
+use crate::health::HealthStore;
 use std::str::FromStr;
 use std::sync::Arc;
 
@@ -117,6 +118,7 @@ pub struct Ranked<'e> {
 pub struct Router {
     model: StaticCostModel,
     observed: Arc<ObservedCosts>,
+    health: Arc<HealthStore>,
 }
 
 impl Default for Router {
@@ -132,6 +134,7 @@ impl Router {
         Router {
             model: StaticCostModel::with_builtins(),
             observed: Arc::new(ObservedCosts::new()),
+            health: Arc::new(HealthStore::default()),
         }
     }
 
@@ -144,6 +147,18 @@ impl Router {
     /// The observed-runtime store predictions are drawn from.
     pub fn observed(&self) -> Arc<ObservedCosts> {
         Arc::clone(&self.observed)
+    }
+
+    /// Share a health store (per-engine circuit breakers) instead of
+    /// this router's own.
+    pub fn set_health(&mut self, store: Arc<HealthStore>) {
+        self.health = store;
+    }
+
+    /// The per-engine breaker store [`rank`](Router::rank) demotes open
+    /// engines with and resilient dispatch records outcomes into.
+    pub fn health(&self) -> Arc<HealthStore> {
+        Arc::clone(&self.health)
     }
 
     /// The static cost table.
@@ -195,6 +210,15 @@ impl Router {
     /// (explicit first, then fallback) rank by predicted cost, keeping
     /// registration order on ties. Under `first-capable` the input order
     /// is returned untouched and nothing is scored.
+    ///
+    /// Health-aware failover ordering runs last, under every policy:
+    /// candidates whose circuit breaker is fully open are demoted below
+    /// all healthier candidates (a stable partition, so relative order
+    /// inside each health class is preserved — even below an explicit
+    /// `system=` pin, because a pinned engine that cannot serve is worse
+    /// than any healthy fallback). When no breaker is open — every
+    /// no-fault run — the demotion is the identity and the order is
+    /// byte-identical to the health-blind ranking.
     pub fn rank<'e>(
         &self,
         candidates: Vec<(&'e dyn Engine, Routing)>,
@@ -217,6 +241,12 @@ impl Router {
                     .cmp(&a.routing.explicit)
                     .then(a.score.predicted_micros.total_cmp(&b.score.predicted_micros))
             });
+        }
+        if ranked.iter().any(|r| self.health.is_open(&r.routing.engine)) {
+            let (healthy, open): (Vec<_>, Vec<_>) = ranked
+                .into_iter()
+                .partition(|r| !self.health.is_open(&r.routing.engine));
+            ranked = healthy.into_iter().chain(open).collect();
         }
         ranked
     }

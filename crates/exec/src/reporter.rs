@@ -144,9 +144,18 @@ pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
                 site.clone(),
                 format!("attempt {attempt} failed ({error}); backoff {delay_ms} ms"),
             ),
-            TraceEvent::EngineFailedOver { prescription, from, to, attempts } => (
+            TraceEvent::EngineFailedOver {
+                prescription,
+                from,
+                to,
+                attempts,
+                engine_attempts,
+                error,
+            } => (
                 prescription.clone(),
-                format!("{from} -> {to} after {attempts} attempts"),
+                format!(
+                    "{from} -> {to} after {attempts} attempts ({engine_attempts} on {from}): {error}"
+                ),
             ),
             TraceEvent::DeadlineExceeded { site, elapsed_ms, deadline_ms } => (
                 site.clone(),
@@ -199,6 +208,30 @@ pub fn render_trace(trace: &crate::trace::RunTrace) -> String {
                 format!("{prescription}@{engine}"),
                 format!("{micros} us -> ewma {ewma_micros:.1} us over {samples} sample(s) [{key}]"),
             ),
+            TraceEvent::BreakerOpened { engine, failure_rate } => (
+                engine.clone(),
+                format!("tripped at {:.0}% windowed failure rate", failure_rate * 100.0),
+            ),
+            TraceEvent::BreakerHalfOpen { engine } => {
+                (engine.clone(), "cooldown elapsed; admitting probes".to_string())
+            }
+            TraceEvent::BreakerClosed { engine } => {
+                (engine.clone(), "probes succeeded; breaker closed".to_string())
+            }
+            TraceEvent::ProbeResult { engine, ok } => (
+                engine.clone(),
+                format!("probe {}", if *ok { "succeeded" } else { "failed" }),
+            ),
+            TraceEvent::BrownoutEngaged { engine, pressure, shed_fraction } => (
+                engine.clone(),
+                format!(
+                    "brownout engaged at pressure {pressure}: shedding {:.0}% of arrivals",
+                    shed_fraction * 100.0
+                ),
+            ),
+            TraceEvent::BrownoutReleased { engine, shed } => {
+                (engine.clone(), format!("brownout released after shedding {shed} arrival(s)"))
+            }
             TraceEvent::ConformanceChecked { prescription, engine, check, payload, passed, detail } => (
                 format!("{prescription}@{engine}"),
                 format!(
@@ -282,8 +315,8 @@ pub fn render_load(summary: &crate::analyzer::LoadSummary) -> String {
     let mut t = TableReporter::new(
         "Load",
         &[
-            "engine", "clients", "inflight", "issued", "completed", "shed", "ops/s", "p50 us",
-            "p99 us", "p999 us", "conformance",
+            "engine", "clients", "inflight", "issued", "completed", "shed", "failed", "ops/s",
+            "p50 us", "p99 us", "p999 us", "conformance",
         ],
     );
     for r in &summary.reports {
@@ -294,6 +327,7 @@ pub fn render_load(summary: &crate::analyzer::LoadSummary) -> String {
             r.issued.to_string(),
             r.completed.to_string(),
             r.shed.to_string(),
+            r.failed.to_string(),
             fmt_num(r.throughput_ops_per_sec),
             fmt_num(r.p50_us),
             fmt_num(r.p99_us),
@@ -308,6 +342,58 @@ pub fn render_load(summary: &crate::analyzer::LoadSummary) -> String {
         summary.sessions_finished,
         summary.shed_events,
         if summary.all_conformant() { "CONFORMANT" } else { "DIVERGED" },
+    ));
+    // Chaos accounting appears only when the drive actually saw faults,
+    // retries, failures or breaker trips — clean drives keep the
+    // historical footer untouched.
+    let chaos: u64 = summary
+        .reports
+        .iter()
+        .map(|r| r.failed + r.faults + r.retries + r.breaker_trips)
+        .sum();
+    if chaos > 0 {
+        for r in &summary.reports {
+            out.push_str(&format!(
+                "chaos[{}]: {} failed, {} faults, {} retries, {} breaker trip(s)\n",
+                r.engine, r.failed, r.faults, r.retries, r.breaker_trips,
+            ));
+        }
+    }
+    out
+}
+
+/// Render a [`HealthSummary`](crate::analyzer::HealthSummary) as an
+/// aligned text table: per engine the breaker trips, recoveries, probe
+/// outcomes, and the state the breaker quiesced in. Returns a one-line
+/// note when no breaker ever left the closed state.
+pub fn render_health(summary: &crate::analyzer::HealthSummary) -> String {
+    if summary.is_empty() {
+        return "== Health ==\nall circuit breakers stayed closed\n".to_string();
+    }
+    let mut t = TableReporter::new(
+        "Health",
+        &["engine", "trips", "recoveries", "probes", "probe fails", "final state"],
+    );
+    for e in &summary.engines {
+        t.add_row(&[
+            e.engine.clone(),
+            e.trips.to_string(),
+            e.recoveries.to_string(),
+            e.probes.to_string(),
+            e.probe_failures.to_string(),
+            e.final_state.clone(),
+        ]);
+    }
+    let mut out = t.to_text();
+    out.push_str(&format!(
+        "health: {} trip(s) across {} engine(s); at quiesce {}\n",
+        summary.total_trips(),
+        summary.engines.len(),
+        if summary.all_closed() {
+            "all breakers closed".to_string()
+        } else {
+            format!("open breakers: {}", summary.not_closed().join(", "))
+        },
     ));
     out
 }
@@ -456,6 +542,8 @@ mod tests {
             from: "sql".into(),
             to: "mapreduce".into(),
             attempts: 3,
+            engine_attempts: 2,
+            error: "injected engine fault".into(),
         });
         trace.record(TraceEvent::DeadlineExceeded {
             site: "datagen/events".into(),
@@ -466,8 +554,28 @@ mod tests {
         assert!(text.contains("fault_injected"));
         assert!(text.contains("latency (+25 ms)"));
         assert!(text.contains("backoff 10 ms"));
-        assert!(text.contains("sql -> mapreduce after 3 attempts"));
+        assert!(text.contains(
+            "sql -> mapreduce after 3 attempts (2 on sql): injected engine fault"
+        ));
         assert!(text.contains("70 ms elapsed > 50 ms deadline"));
+    }
+
+    #[test]
+    fn trace_renders_breaker_events() {
+        use crate::trace::{RunTrace, TraceEvent};
+        let trace = RunTrace::new();
+        trace.record(TraceEvent::BreakerOpened { engine: "kv".into(), failure_rate: 0.75 });
+        trace.record(TraceEvent::BreakerHalfOpen { engine: "kv".into() });
+        trace.record(TraceEvent::ProbeResult { engine: "kv".into(), ok: false });
+        trace.record(TraceEvent::ProbeResult { engine: "kv".into(), ok: true });
+        trace.record(TraceEvent::BreakerClosed { engine: "kv".into() });
+        let text = render_trace(&trace);
+        assert!(text.contains("breaker_opened"));
+        assert!(text.contains("tripped at 75% windowed failure rate"));
+        assert!(text.contains("cooldown elapsed; admitting probes"));
+        assert!(text.contains("probe failed"));
+        assert!(text.contains("probe succeeded"));
+        assert!(text.contains("probes succeeded; breaker closed"));
     }
 
     #[test]
@@ -551,6 +659,10 @@ mod tests {
             issued: 1000,
             completed: 950,
             shed: 50,
+            failed: 0,
+            faults: 0,
+            retries: 0,
+            breaker_trips: 0,
             duration_secs: 2.0,
             throughput_ops_per_sec: 475.0,
             p50_us: 12.0,
@@ -572,6 +684,71 @@ mod tests {
         assert!(text.contains("p999 us"));
         assert!(text.contains("CONFORMANT"));
         assert!(text.contains("shed events: 1"));
+        // A clean drive keeps the historical footer: no chaos accounting.
+        assert!(!text.contains("chaos["));
+    }
+
+    #[test]
+    fn load_report_with_chaos_appends_accounting() {
+        use crate::analyzer::LoadSummary;
+        let report = crate::loadgen::LoadReport {
+            engine: "kv".into(),
+            clients: 4,
+            inflight: 8,
+            issued: 1000,
+            completed: 930,
+            shed: 50,
+            failed: 20,
+            faults: 37,
+            retries: 17,
+            breaker_trips: 2,
+            duration_secs: 2.0,
+            throughput_ops_per_sec: 465.0,
+            p50_us: 12.0,
+            p99_us: 90.0,
+            p999_us: 400.0,
+            mean_queue_delay_ms: 1.5,
+            sampled: 63,
+            conformance_passed: true,
+            digest: "0xfeed".into(),
+        };
+        let text = render_load(&LoadSummary::new(vec![report], &[]));
+        assert!(text.contains("failed"));
+        assert!(
+            text.contains("chaos[kv]: 20 failed, 37 faults, 17 retries, 2 breaker trip(s)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn health_report_quiet_and_active() {
+        use crate::analyzer::HealthSummary;
+        use crate::trace::TraceEvent;
+        let quiet = HealthSummary::default();
+        assert!(render_health(&quiet).contains("all circuit breakers stayed closed"));
+
+        let s = HealthSummary::from_events(&[
+            TraceEvent::BreakerOpened { engine: "kv".into(), failure_rate: 0.6 },
+            TraceEvent::BreakerHalfOpen { engine: "kv".into() },
+            TraceEvent::ProbeResult { engine: "kv".into(), ok: false },
+            TraceEvent::BreakerOpened { engine: "kv".into(), failure_rate: 0.6 },
+            TraceEvent::BreakerHalfOpen { engine: "kv".into() },
+            TraceEvent::ProbeResult { engine: "kv".into(), ok: true },
+            TraceEvent::ProbeResult { engine: "kv".into(), ok: true },
+            TraceEvent::BreakerClosed { engine: "kv".into() },
+        ]);
+        let text = render_health(&s);
+        assert!(text.contains("== Health =="));
+        assert!(text.contains("kv"));
+        assert!(text.contains("final state"));
+        assert!(text.contains("at quiesce all breakers closed"), "{text}");
+
+        let open = HealthSummary::from_events(&[TraceEvent::BreakerOpened {
+            engine: "sql".into(),
+            failure_rate: 1.0,
+        }]);
+        let text = render_health(&open);
+        assert!(text.contains("open breakers: sql"), "{text}");
     }
 
     #[test]

@@ -101,8 +101,12 @@ pub enum TraceEvent {
         from: String,
         /// The engine taking over.
         to: String,
-        /// Attempts consumed before the failover.
+        /// Attempts consumed across all engines before the failover.
         attempts: u32,
+        /// Attempts the `from` engine itself consumed.
+        engine_attempts: u32,
+        /// The error that triggered the failover.
+        error: String,
     },
     /// An operation ran out of its wall-clock deadline.
     DeadlineExceeded {
@@ -204,6 +208,51 @@ pub enum TraceEvent {
         /// Samples folded into the estimate so far.
         samples: u64,
     },
+    /// An engine's circuit breaker tripped: its windowed failure rate
+    /// reached the trip ratio and admissions are now denied.
+    BreakerOpened {
+        /// The engine whose breaker tripped.
+        engine: String,
+        /// Windowed failure rate at the trip.
+        failure_rate: f64,
+    },
+    /// An open breaker finished its cooldown and now admits probes.
+    BreakerHalfOpen {
+        /// The engine whose breaker is probing.
+        engine: String,
+    },
+    /// A half-open breaker saw enough probe successes and closed.
+    BreakerClosed {
+        /// The recovered engine.
+        engine: String,
+    },
+    /// One half-open probe operation completed.
+    ProbeResult {
+        /// The probed engine.
+        engine: String,
+        /// Did the probe succeed?
+        ok: bool,
+    },
+    /// The load driver's adaptive brownout engaged: sustained queue
+    /// overload or a half-open breaker pushed admission pressure past the
+    /// grace threshold, and a proportional fraction of arrivals is now
+    /// shed before dispatch.
+    BrownoutEngaged {
+        /// The engine being driven.
+        engine: String,
+        /// Consecutive-pressure count when the brownout engaged.
+        pressure: u64,
+        /// Fraction of arrivals being shed, in `(0, 1)`.
+        shed_fraction: f64,
+    },
+    /// The brownout released: pressure drained back under the grace
+    /// threshold (or the drive quiesced).
+    BrownoutReleased {
+        /// The engine being driven.
+        engine: String,
+        /// Arrivals the brownout shed while engaged.
+        shed: u64,
+    },
     /// A conformance check compared an engine's result against the
     /// reference oracle or a stored golden digest.
     ConformanceChecked {
@@ -244,14 +293,21 @@ impl TraceEvent {
             TraceEvent::LoadShed { .. } => "load_shed",
             TraceEvent::RoutingDecision { .. } => "routing_decision",
             TraceEvent::CostObserved { .. } => "cost_observed",
+            TraceEvent::BreakerOpened { .. } => "breaker_opened",
+            TraceEvent::BreakerHalfOpen { .. } => "breaker_half_open",
+            TraceEvent::BreakerClosed { .. } => "breaker_closed",
+            TraceEvent::ProbeResult { .. } => "probe_result",
+            TraceEvent::BrownoutEngaged { .. } => "brownout_engaged",
+            TraceEvent::BrownoutReleased { .. } => "brownout_released",
             TraceEvent::ConformanceChecked { .. } => "conformance_checked",
         }
     }
 
     /// True for the recovery-path events: what the resilient dispatcher
-    /// emits (fault, retry, failover, deadline) plus what a resumed run
-    /// emits (run/cell resumption). Checkpoint writes are *not* recovery —
-    /// every journaled run writes them, crashed or not.
+    /// emits (fault, retry, failover, deadline), what a resumed run
+    /// emits (run/cell resumption), and the health layer's breaker
+    /// transitions and probe outcomes. Checkpoint writes are *not*
+    /// recovery — every journaled run writes them, crashed or not.
     pub fn is_recovery(&self) -> bool {
         matches!(
             self,
@@ -261,6 +317,12 @@ impl TraceEvent {
                 | TraceEvent::DeadlineExceeded { .. }
                 | TraceEvent::CellResumed { .. }
                 | TraceEvent::RunResumed { .. }
+                | TraceEvent::BreakerOpened { .. }
+                | TraceEvent::BreakerHalfOpen { .. }
+                | TraceEvent::BreakerClosed { .. }
+                | TraceEvent::ProbeResult { .. }
+                | TraceEvent::BrownoutEngaged { .. }
+                | TraceEvent::BrownoutReleased { .. }
         )
     }
 }
@@ -381,6 +443,8 @@ mod tests {
                 from: "sql".into(),
                 to: "mapreduce".into(),
                 attempts: 2,
+                engine_attempts: 2,
+                error: "injected engine fault".into(),
             },
             TraceEvent::DeadlineExceeded { site: "datagen/events".into(), elapsed_ms: 70, deadline_ms: 50 },
         ];
@@ -488,6 +552,34 @@ mod tests {
         assert_eq!(events[1].label(), "cost_observed");
         for e in &events {
             assert!(!e.is_recovery(), "{}", e.label());
+            let json = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(*e, back);
+        }
+    }
+
+    #[test]
+    fn breaker_events_serialize_and_classify() {
+        let events = vec![
+            TraceEvent::BreakerOpened { engine: "kv".into(), failure_rate: 0.75 },
+            TraceEvent::BreakerHalfOpen { engine: "kv".into() },
+            TraceEvent::ProbeResult { engine: "kv".into(), ok: true },
+            TraceEvent::BreakerClosed { engine: "kv".into() },
+            TraceEvent::BrownoutEngaged {
+                engine: "kv".into(),
+                pressure: 9,
+                shed_fraction: 0.125,
+            },
+            TraceEvent::BrownoutReleased { engine: "kv".into(), shed: 12 },
+        ];
+        assert_eq!(events[0].label(), "breaker_opened");
+        assert_eq!(events[1].label(), "breaker_half_open");
+        assert_eq!(events[2].label(), "probe_result");
+        assert_eq!(events[3].label(), "breaker_closed");
+        assert_eq!(events[4].label(), "brownout_engaged");
+        assert_eq!(events[5].label(), "brownout_released");
+        for e in &events {
+            assert!(e.is_recovery(), "{}", e.label());
             let json = serde_json::to_string(e).unwrap();
             let back: TraceEvent = serde_json::from_str(&json).unwrap();
             assert_eq!(*e, back);

@@ -124,6 +124,49 @@ for engine in kv sql native streaming; do
 done
 rm -f "$load_out"
 
+echo "== chaos load smoke (breakers + chaos under load, seeded) =="
+# Closed-loop chaos: a 40% error rate past one retry fails some ops but
+# the drive stays CONFORMANT, conserves every op
+# (issued == completed + shed + failed), and the same seed reproduces
+# identical chaos accounting and the identical issued-op digest.
+chaos_a=$(mktemp); chaos_b=$(mktemp)
+for out in "$chaos_a" "$chaos_b"; do
+    ./target/release/bdbench load --clients 2 --inflight 2 --duration-ms 300 \
+        --engine native --seed 42 --faults "error@exec:0.4" --retries 1 >"$out" \
+        || { echo "chaos load smoke: drive failed or diverged"; cat "$out"; exit 1; }
+    grep -q "verdict: CONFORMANT" "$out" \
+        || { echo "chaos load smoke: expected CONFORMANT"; cat "$out"; exit 1; }
+done
+read -r issued completed shed failed <<<"$(awk '$1=="native" && NF>10 {print $4, $5, $6, $7}' "$chaos_a")"
+if [ -z "$failed" ] || [ "$failed" -lt 1 ]; then
+    echo "chaos load smoke: expected failed ops under chaos"; cat "$chaos_a"; exit 1
+fi
+if [ "$issued" -ne $((completed + shed + failed)) ]; then
+    echo "chaos load smoke: conservation violated ($issued != $completed + $shed + $failed)"
+    cat "$chaos_a"; exit 1
+fi
+if ! diff <(grep -E "^chaos\[|^issued-op digest" "$chaos_a") \
+          <(grep -E "^chaos\[|^issued-op digest" "$chaos_b") >/dev/null; then
+    echo "chaos load smoke: same seed must reproduce identical chaos accounting"
+    diff "$chaos_a" "$chaos_b"; exit 1
+fi
+echo "chaos load smoke: conserved $issued ops ($completed completed, $failed failed), deterministic"
+# Open-loop breaker lifecycle: a 30% error rate under uniform arrivals
+# must trip the native breaker at least once, and the seeded probe
+# sequence must have recovered it (closed) by quiesce.
+./target/release/bdbench load --clients 2 --inflight 2 --duration-ms 300 \
+    --engine native --seed 42 --arrival uniform:2000 \
+    --faults "error@exec:0.3" --retries 0 >"$chaos_a" \
+    || { echo "chaos load smoke: open-loop drive failed"; cat "$chaos_a"; exit 1; }
+trips=$(sed -n 's/^health: \([0-9]*\) trip(s).*/\1/p' "$chaos_a")
+if [ -z "$trips" ] || [ "$trips" -lt 1 ]; then
+    echo "chaos load smoke: expected breaker trips"; cat "$chaos_a"; exit 1
+fi
+grep -q "at quiesce all breakers closed" "$chaos_a" \
+    || { echo "chaos load smoke: breaker must be closed at quiesce"; cat "$chaos_a"; exit 1; }
+rm -f "$chaos_a" "$chaos_b"
+echo "chaos load smoke: $trips breaker trip(s), recovered to closed at quiesce"
+
 echo "== bench gate (sampled hot paths vs committed baseline) =="
 # The statistical bench (5 samples/path, warmup discard, MAD outlier
 # rejection, t-distribution 95% CIs) runs all ten hot paths and compares

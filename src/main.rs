@@ -24,7 +24,13 @@
 //!     --arrival <closed|poisson:R|uniform:R>
 //!     --engine <name>                  # repeatable; default: kv,sql,native
 //!     --queue-cap <n>  --sample-every <n>
+//!     --faults <spec>                  # per-op chaos under load
+//!     --retries <n>  --deadline-ms <n> # per-op recovery policy
 //!     --trace <path|->                 # dump the load trace as JSON-lines
+//!
+//! run, verify and load also accept the circuit-breaker knobs
+//! `--breaker-window <n>`, `--breaker-trip-ratio <f>` and
+//! `--breaker-cooldown <n>` (the `breaker.*` system-config parameters).
 //! bdbench bench [opts]                 # sampled hot-path bench + regression gate
 //!     --samples <n>  --warmup <n>      # recorded samples / discarded warmups per path
 //!     --out <path>                     # ledger to write (default BENCH_9.json)
@@ -57,7 +63,7 @@ use bdbench::verify::VerifyMode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  bdbench list [--costs]\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR] [--routing first-capable|cost|adaptive]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC] [--routing P] [--passes N]\n  bdbench load [--clients N] [--inflight M] [--duration-ms D] [--arrival closed|poisson:R|uniform:R] [--engine NAME]... [--seed N] [--queue-cap N] [--sample-every N] [--trace PATH|-]\n  bdbench bench [--samples N] [--warmup N] [--out PATH] [--compare PATH] [--against PATH] [--min-effect F] [--gate LIST|original] [--fail-on-regression] [--duration-ms D] [--seed N]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
+        "usage:\n  bdbench list [--costs]\n  bdbench run <prescription> [--system S] [--scale N] [--seed N] [--workers N] [--rate R] [--trace PATH|-] [--faults SPEC] [--retries N] [--deadline-ms N] [--verify[=MODE]] [--goldens DIR] [--routing first-capable|cost|adaptive] [--breaker-window N] [--breaker-trip-ratio F] [--breaker-cooldown N]\n  bdbench verify [--scale N] [--seed N] [--mode strict|digest|update] [--goldens DIR] [--journal DIR] [--resume DIR] [--faults SPEC] [--routing P] [--passes N] [--breaker-window N] [--breaker-trip-ratio F] [--breaker-cooldown N]\n  bdbench load [--clients N] [--inflight M] [--duration-ms D] [--arrival closed|poisson:R|uniform:R] [--engine NAME]... [--seed N] [--queue-cap N] [--sample-every N] [--faults SPEC] [--retries N] [--deadline-ms N] [--trace PATH|-] [--breaker-window N] [--breaker-trip-ratio F] [--breaker-cooldown N]\n  bdbench bench [--samples N] [--warmup N] [--out PATH] [--compare PATH] [--against PATH] [--min-effect F] [--gate LIST|original] [--fail-on-regression] [--duration-ms D] [--seed N]\n  bdbench table1 [--seed N]\n  bdbench table2 [--scale N] [--seed N]\n  bdbench suite <name> [--scale N] [--seed N] [--resume DIR]"
     );
     std::process::exit(2)
 }
@@ -106,6 +112,37 @@ fn parse_opts<'a>(
         }
     }
     (positional, opts)
+}
+
+/// The circuit-breaker CLI knobs accepted by run, verify and load, and
+/// the `breaker.*` system-config parameters they map to. Values are
+/// passed through verbatim: [`SystemConfig::breaker_policy`] validates
+/// them where the run starts, so a bad value fails loudly there.
+const BREAKER_OPTS: &[(&str, &str)] = &[
+    ("breaker-window", "breaker.window"),
+    ("breaker-trip-ratio", "breaker.trip_ratio"),
+    ("breaker-cooldown", "breaker.cooldown"),
+];
+
+/// Collect the breaker knobs present in `opts` as system-config
+/// parameter pairs.
+fn breaker_params(opts: &std::collections::BTreeMap<String, String>) -> Vec<(String, String)> {
+    BREAKER_OPTS
+        .iter()
+        .filter_map(|(opt, param)| opts.get(*opt).map(|v| (param.to_string(), v.clone())))
+        .collect()
+}
+
+/// A benchmark runner whose execution layer carries the CLI's breaker
+/// knobs (when any were given).
+fn benchmark_with_breaker(opts: &std::collections::BTreeMap<String, String>) -> Benchmark {
+    let mut bench = Benchmark::new();
+    let mut config = bench.execution_layer_mut().system_config.clone();
+    for (param, value) in breaker_params(opts) {
+        config = config.with_parameter(&param, &value);
+    }
+    bench.execution_layer_mut().system_config = config;
+    bench
 }
 
 fn opt_u64(opts: &std::collections::BTreeMap<String, String>, key: &str, default: u64) -> u64 {
@@ -221,6 +258,9 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
             "verify",
             "goldens",
             "routing",
+            "breaker-window",
+            "breaker-trip-ratio",
+            "breaker-cooldown",
         ],
         &["verify"],
     );
@@ -274,7 +314,7 @@ fn cmd_run(args: &[String]) -> bdbench::common::Result<()> {
     if let Some(routing) = opts.get("routing") {
         spec = spec.with_routing(parse_routing(routing)?);
     }
-    let run = Benchmark::new().run(&spec)?;
+    let run = benchmark_with_breaker(&opts).run(&spec)?;
     println!("== phases ==");
     for phase in &run.phases {
         println!(
@@ -327,7 +367,20 @@ fn parse_routing(value: &str) -> bdbench::common::Result<RoutingPolicy> {
 fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
     let (_, opts) = parse_opts(
         args,
-        &["scale", "seed", "mode", "goldens", "journal", "resume", "faults", "routing", "passes"],
+        &[
+            "scale",
+            "seed",
+            "mode",
+            "goldens",
+            "journal",
+            "resume",
+            "faults",
+            "routing",
+            "passes",
+            "breaker-window",
+            "breaker-trip-ratio",
+            "breaker-cooldown",
+        ],
         &[],
     );
     let mode = opts.get("mode").map_or(Ok(VerifyMode::Strict), |m| m.parse::<VerifyMode>())?;
@@ -341,9 +394,10 @@ fn cmd_verify(args: &[String]) -> bdbench::common::Result<()> {
         .map(RunJournal::open)
         .transpose()?;
     let faults = opts.get("faults").map(|s| s.parse::<FaultPlan>()).transpose()?;
-    let routing = MatrixRouting::with_policy(
+    let mut routing = MatrixRouting::with_policy(
         opts.get("routing").map_or(Ok(RoutingPolicy::default()), |r| parse_routing(r))?,
     );
+    routing.parameters = breaker_params(&opts);
     let passes = opt_u64(&opts, "passes", 1).max(1);
     let mut diverged = 0usize;
     for pass in 1..=passes {
@@ -395,7 +449,13 @@ fn cmd_load(args: &[String]) -> bdbench::common::Result<()> {
             "seed",
             "queue-cap",
             "sample-every",
+            "faults",
+            "retries",
+            "deadline-ms",
             "trace",
+            "breaker-window",
+            "breaker-trip-ratio",
+            "breaker-cooldown",
         ],
         &[],
     );
@@ -420,14 +480,23 @@ fn cmd_load(args: &[String]) -> bdbench::common::Result<()> {
         profile.engines =
             Some(engines.split(',').map(|e| e.trim().to_string()).collect());
     }
-    let spec = BenchmarkSpec::new("load")
+    let mut spec = BenchmarkSpec::new("load")
         .with_seed(opt_u64(&opts, "seed", 42))
         .with_load(profile);
-    let run = Benchmark::new().run_load(&spec)?;
+    if let Some(faults) = opts.get("faults") {
+        spec = spec.with_faults(faults.parse()?);
+    }
+    if opts.contains_key("retries") {
+        spec = spec.with_retries(opt_u64(&opts, "retries", 0) as u32);
+    }
+    if opts.contains_key("deadline-ms") {
+        spec = spec.with_deadline_ms(opt_u64(&opts, "deadline-ms", 0));
+    }
+    let run = benchmark_with_breaker(&opts).run_load(&spec)?;
     println!("{}", run.analysis);
     for report in &run.summary.reports {
         println!(
-            "load[{}]: {:.0} ops/s saturation, p50 {:.1} us, p99 {:.1} us, p999 {:.1} us ({} completed, {} shed)",
+            "load[{}]: {:.0} ops/s saturation, p50 {:.1} us, p99 {:.1} us, p999 {:.1} us ({} completed, {} shed, {} failed)",
             report.engine,
             report.throughput_ops_per_sec,
             report.p50_us,
@@ -435,7 +504,14 @@ fn cmd_load(args: &[String]) -> bdbench::common::Result<()> {
             report.p999_us,
             report.completed,
             report.shed,
+            report.failed,
         );
+        if report.faults + report.retries + report.breaker_trips > 0 {
+            println!(
+                "chaos[{}]: {} fault(s), {} retry(ies), {} breaker trip(s)",
+                report.engine, report.faults, report.retries, report.breaker_trips,
+            );
+        }
     }
     println!("issued-op digest: {}", run.digest);
     if let Some(target) = opts.get("trace") {
